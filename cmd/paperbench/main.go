@@ -1,0 +1,97 @@
+// Command paperbench regenerates the evaluation of the paper (Section
+// 4): Tables 1 and 2, both panels of Figures 5 and 6, the dispatch
+// elimination ranges, the §3.2 specialization statistics and the
+// headline improvement numbers, measured on this reproduction's four
+// benchmarks.
+//
+// Usage:
+//
+//	paperbench              # full report
+//	paperbench -table 1     # just Table 1
+//	paperbench -table 2
+//	paperbench -figure 5a   # one figure panel
+//	paperbench -figure 6b
+//	paperbench -stats       # §3.2 specialization statistics
+//	paperbench -headline    # abstract-level claims
+//	paperbench -quick       # smaller inputs (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selspec/internal/bench"
+	"selspec/internal/specialize"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table     = flag.String("table", "", "render one table: 1 or 2")
+		figure    = flag.String("figure", "", "render one figure panel: 5a, 5b, 6a, 6b")
+		stats     = flag.Bool("stats", false, "render the specialization statistics (§3.2)")
+		headline  = flag.Bool("headline", false, "render the headline comparison")
+		quick     = flag.Bool("quick", false, "use training-size inputs (fast)")
+		exts      = flag.Bool("extensions", false, "measure the post-paper extensions (return types + instantiation analysis)")
+		csvOut    = flag.Bool("csv", false, "emit the result matrix as CSV")
+		threshold = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold")
+	)
+	flag.Parse()
+
+	// Static tables need no measurements.
+	switch *table {
+	case "1":
+		bench.Table1(os.Stdout)
+		return nil
+	case "2":
+		bench.Table2(os.Stdout)
+		return nil
+	case "":
+	default:
+		return fmt.Errorf("unknown table %q", *table)
+	}
+
+	if *exts {
+		return bench.Extensions(os.Stdout, bench.Options{
+			Quick:      *quick,
+			SpecParams: specialize.Params{Threshold: *threshold},
+		})
+	}
+
+	suite, err := bench.RunSuite(bench.Options{
+		Quick:      *quick,
+		SpecParams: specialize.Params{Threshold: *threshold},
+	})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *csvOut:
+		return suite.CSV(os.Stdout)
+	case *figure == "5a":
+		suite.Figure5a(os.Stdout)
+	case *figure == "5b":
+		suite.Figure5b(os.Stdout)
+	case *figure == "6a":
+		suite.Figure6a(os.Stdout)
+	case *figure == "6b":
+		suite.Figure6b(os.Stdout)
+	case *figure != "":
+		return fmt.Errorf("unknown figure %q", *figure)
+	case *stats:
+		suite.SpecStats(os.Stdout)
+	case *headline:
+		suite.Headline(os.Stdout)
+	default:
+		suite.Report(os.Stdout)
+	}
+	return nil
+}

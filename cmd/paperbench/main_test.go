@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+func execMain(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	oldArgs, oldOut := os.Args, os.Stdout
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout = oldArgs, oldOut
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("paperbench", flag.ContinueOnError)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	os.Args = append([]string{"paperbench"}, args...)
+	runErr := run()
+	w.Close()
+	buf := make([]byte, 1<<22)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestPaperbenchTables(t *testing.T) {
+	out, err := execMain(t, "-table", "1")
+	if err != nil || !strings.Contains(out, "Selective") {
+		t.Fatalf("table 1: %v %q", err, out)
+	}
+	out, err = execMain(t, "-table", "2")
+	if err != nil || !strings.Contains(out, "Richards") {
+		t.Fatalf("table 2: %v %q", err, out)
+	}
+	if _, err := execMain(t, "-table", "9"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestPaperbenchFigures(t *testing.T) {
+	// One quick figure run exercises the suite plumbing end to end.
+	out, err := execMain(t, "-quick", "-figure", "5a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 5 (left)") || !strings.Contains(out, "Richards") {
+		t.Fatalf("figure 5a output:\n%s", out)
+	}
+	if _, err := execMain(t, "-quick", "-figure", "9z"); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}

@@ -1,0 +1,195 @@
+// Command selspec compiles and runs a Mini-Cecil program under one of
+// the paper's five compiler configurations, printing the program output
+// and (optionally) the dispatch/code-space statistics the paper
+// evaluates.
+//
+// Usage:
+//
+//	selspec [flags] program.mc
+//	selspec [flags] -bench Richards
+//
+// Examples:
+//
+//	selspec -config Base prog.mc
+//	selspec -config Selective -threshold 1000 -stats prog.mc
+//	selspec -bench Richards -config Cust-MM -stats
+//	selspec -profile out.json prog.mc        # write a training profile
+//	selspec -use-profile out.json -config Selective prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selspec/internal/driver"
+	"selspec/internal/interp"
+	"selspec/internal/ir"
+	"selspec/internal/opt"
+	"selspec/internal/profile"
+	"selspec/internal/programs"
+	"selspec/internal/specialize"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "selspec:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configName = flag.String("config", "Base", "compiler configuration: Base, Cust, Cust-MM, CHA, Selective")
+		benchName  = flag.String("bench", "", "run an embedded benchmark (Richards, InstSched, Typechecker, Compiler, Sets) instead of a file")
+		threshold  = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold (arc invocations)")
+		mechName   = flag.String("dispatch", "PIC", "dispatch mechanism: PIC, Global, Tables")
+		stats      = flag.Bool("stats", false, "print dispatch and code-space statistics")
+		writeProf  = flag.String("profile", "", "run under Base with instrumentation and write the call-graph profile to this file")
+		useProf    = flag.String("use-profile", "", "read a previously written profile instead of running a training pass (Selective)")
+		noInline   = flag.Bool("no-inline", false, "disable inlining")
+		retTypes   = flag.Bool("return-types", false, "enable return-value class propagation (paper §6 extension)")
+		rta        = flag.Bool("instantiation", false, "enable instantiation-aware (RTA-style) class analysis")
+		lazy       = flag.Bool("lazy", false, "lazy (dynamic) compilation: compile method versions on first invocation")
+		stepLimit  = flag.Uint64("step-limit", 0, "abort after this many interpreter steps (0 = unlimited)")
+		traceDisp  = flag.Bool("trace", false, "trace every dynamic dispatch decision to stderr")
+	)
+	flag.Parse()
+
+	cfg, err := opt.ParseConfig(*configName)
+	if err != nil {
+		return err
+	}
+	var mech interp.Mechanism
+	switch *mechName {
+	case "PIC":
+		mech = interp.MechPIC
+	case "Global":
+		mech = interp.MechGlobal
+	case "Tables":
+		mech = interp.MechTables
+	default:
+		return fmt.Errorf("unknown dispatch mechanism %q", *mechName)
+	}
+
+	// Resolve the program source.
+	var src string
+	var train, test map[string]int64
+	switch {
+	case *benchName != "":
+		b, ok := programs.ByName(*benchName)
+		if !ok {
+			switch *benchName {
+			case "Sets":
+				b = programs.Sets()
+			case "Collections":
+				b = programs.Collections()
+			default:
+				return fmt.Errorf("unknown benchmark %q", *benchName)
+			}
+		}
+		src, train, test = b.Source, b.Train, b.Test
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		return fmt.Errorf("expected a program file or -bench name")
+	}
+
+	p, err := driver.Load(src)
+	if err != nil {
+		return err
+	}
+
+	// Profile-writing mode.
+	if *writeProf != "" {
+		cg, err := p.CollectProfile(driver.RunOptions{Overrides: train, StepLimit: *stepLimit})
+		if err != nil {
+			return err
+		}
+		data, err := cg.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*writeProf, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d arcs (total weight %d) to %s\n", cg.Len(), cg.TotalWeight(), *writeProf)
+		return nil
+	}
+
+	oo := opt.Options{Config: cfg, DisableInlining: *noInline, Lazy: *lazy,
+		ReturnTypeAnalysis: *retTypes, InstantiationAnalysis: *rta}
+	if cfg == opt.CustMM {
+		oo.Lazy = true
+	}
+	if cfg == opt.Selective {
+		var cg *profile.CallGraph
+		if *useProf != "" {
+			data, err := os.ReadFile(*useProf)
+			if err != nil {
+				return err
+			}
+			cg = profile.NewCallGraph(p.Prog)
+			if err := cg.UnmarshalInto(data); err != nil {
+				return err
+			}
+		} else {
+			cg, err = p.CollectProfile(driver.RunOptions{Overrides: train, StepLimit: *stepLimit})
+			if err != nil {
+				return fmt.Errorf("training run: %w", err)
+			}
+		}
+		res := specialize.Run(p.Prog, cg, specialize.Params{Threshold: *threshold})
+		oo.Specializations = res.Specializations
+		if *stats {
+			fmt.Fprintf(os.Stderr, "specialized %d methods (+%d versions, max %d, avg %.2f)\n",
+				res.Stats.MethodsSpecialized, res.Stats.AddedSpecs, res.Stats.MaxPerMethod, res.Stats.AvgPerMethod)
+		}
+	}
+
+	c, err := opt.Compile(p.Prog, oo)
+	if err != nil {
+		return err
+	}
+	in := interp.New(c)
+	in.Out = os.Stdout
+	in.Mech = mech
+	in.StepLimit = *stepLimit
+	if *traceDisp {
+		in.Trace = os.Stderr
+	}
+
+	// Benchmarks run on their measurement input.
+	if test != nil {
+		for name, val := range test {
+			idx, ok := p.Prog.GlobalIdx[name]
+			if !ok {
+				return fmt.Errorf("benchmark override %q not found", name)
+			}
+			c.GlobalInits[idx] = &ir.Const{Kind: ir.KInt, Int: val}
+		}
+	}
+
+	val, rerr := in.Run()
+	if rerr != nil {
+		return rerr
+	}
+	fmt.Printf("=> %s\n", val)
+
+	if *stats {
+		ct := in.Counters
+		st := c.Stats()
+		fmt.Fprintf(os.Stderr, "dispatches=%d (PIC hits=%d misses=%d) version-selects=%d static-calls=%d\n",
+			ct.Dispatches, ct.PICHits, ct.PICMisses, ct.VersionSelects, ct.StaticCalls)
+		fmt.Fprintf(os.Stderr, "cycles=%d method-entries=%d closure-calls=%d\n",
+			ct.Cycles, ct.MethodEntries, ct.ClosureCalls)
+		fmt.Fprintf(os.Stderr, "versions=%d (invoked %d) ir-nodes=%d inlined=%d static-bound=%d\n",
+			st.Versions, in.InvokedVersions(), st.IRNodes, st.InlinedCalls, st.StaticBound)
+	}
+	return nil
+}

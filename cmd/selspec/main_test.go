@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// execMain runs the CLI's run() with the given arguments, capturing
+// stdout, and returns (stdout, err). Flags are reset between runs.
+func execMain(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	oldArgs, oldOut := os.Args, os.Stdout
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout = oldArgs, oldOut
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("selspec", flag.ContinueOnError)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	os.Args = append([]string{"selspec"}, args...)
+	runErr := run()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliProg = `
+class A
+class B isa A
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method main() {
+  var total := 0;
+  var objs := newarray(2);
+  aput(objs, 0, new A());
+  aput(objs, 1, new B());
+  var i := 0;
+  while i < 10 { total := total + m(aget(objs, i % 2)); i := i + 1; }
+  println("total " + str(total));
+  total;
+}
+`
+
+func TestCLIRunsFile(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, err := execMain(t, "-config", "Base", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total 15") || !strings.Contains(out, "=> 15") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestCLIAllConfigs(t *testing.T) {
+	path := writeProg(t, cliProg)
+	for _, cfg := range []string{"Base", "Cust", "Cust-MM", "CHA", "Selective"} {
+		out, err := execMain(t, "-config", cfg, "-stats", path)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if !strings.Contains(out, "=> 15") {
+			t.Fatalf("%s: output %q", cfg, out)
+		}
+	}
+}
+
+func TestCLIExtensionsAndMechanisms(t *testing.T) {
+	path := writeProg(t, cliProg)
+	for _, extra := range [][]string{
+		{"-dispatch", "Global"},
+		{"-dispatch", "Tables"},
+		{"-no-inline"},
+		{"-return-types", "-instantiation", "-config", "CHA"},
+		{"-lazy"},
+	} {
+		out, err := execMain(t, append(extra, path)...)
+		if err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if !strings.Contains(out, "=> 15") {
+			t.Fatalf("%v: output %q", extra, out)
+		}
+	}
+}
+
+func TestCLIProfileRoundTrip(t *testing.T) {
+	path := writeProg(t, cliProg)
+	prof := filepath.Join(t.TempDir(), "prof.json")
+	if _, err := execMain(t, "-profile", prof, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatal("profile file not written")
+	}
+	out, err := execMain(t, "-config", "Selective", "-use-profile", prof, "-threshold", "1", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=> 15") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCLIBenchmarks(t *testing.T) {
+	out, err := execMain(t, "-bench", "Sets", "-config", "CHA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "overlapping pairs counted") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"-config", "Bogus", "x.mc"},
+		{"-dispatch", "Bogus", "x.mc"},
+		{"-bench", "Nope"},
+		{"/does/not/exist.mc"},
+	}
+	for _, args := range cases {
+		if _, err := execMain(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+	// Bad program: load error surfaces.
+	path := writeProg(t, "method main() { undefined_thing; }")
+	if _, err := execMain(t, path); err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("err = %v", err)
+	}
+}

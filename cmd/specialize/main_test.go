@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func execMain(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	oldArgs, oldOut := os.Args, os.Stdout
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout = oldArgs, oldOut
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("specialize", flag.ContinueOnError)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	os.Args = append([]string{"specialize"}, args...)
+	runErr := run()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+// The paper's Figure 2/3 program with a hot main loop so arcs pass the
+// threshold.
+const specProg = `
+class A
+class B isa A
+class E isa B
+method m2(self@A) { 4; }
+method m2(self@B) { 5; }
+method m4(self@A, arg2@A) { arg2.m2(); }
+method main() {
+  var objs := newarray(3);
+  aput(objs, 0, new A());
+  aput(objs, 1, new B());
+  aput(objs, 2, new E());
+  var i := 0;
+  while i < 900 {
+    m4(aget(objs, i % 3), aget(objs, (i + 1) % 3));
+    i := i + 1;
+  }
+  0;
+}
+`
+
+func TestSpecializeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.mc")
+	if err := os.WriteFile(path, []byte(specProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := execMain(t, "-threshold", "100", "-arcs", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"call graph:", "pass-through=", "methods specialized", "m4(@A,@A):"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecializeCLIBenchAndAblations(t *testing.T) {
+	out, err := execMain(t, "-bench", "Sets", "-threshold", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "methods specialized") {
+		t.Fatalf("output: %q", out)
+	}
+	// Cascade/combination ablations run without error.
+	if _, err := execMain(t, "-bench", "Sets", "-threshold", "200", "-no-cascade", "-no-combine"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecializeCLIErrors(t *testing.T) {
+	if _, err := execMain(t, "-bench", "Nope"); err == nil {
+		t.Error("unknown bench should fail")
+	}
+	if _, err := execMain(t); err == nil {
+		t.Error("missing input should fail")
+	}
+	if _, err := execMain(t, "/no/such/file.mc"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,25 @@
+// Package selspec is a from-scratch Go reproduction of
+//
+//	Jeffrey Dean, Craig Chambers, and David Grove.
+//	"Selective Specialization for Object-Oriented Languages."
+//	PLDI 1995.
+//
+// It contains a complete pipeline for a small Cecil-like multi-method
+// object-oriented language ("Mini-Cecil"): front end (internal/lang),
+// class hierarchy and ApplicableClasses analysis (internal/hier), a
+// tree IR with pass-through call-site information (internal/ir), an
+// optimizing middle end implementing the paper's five compiler
+// configurations (internal/opt), the selective specialization algorithm
+// itself (internal/specialize), profile collection (internal/profile),
+// runtime dispatch mechanisms (internal/dispatch), an instrumented
+// interpreter (internal/interp), the four benchmark programs of the
+// paper's Table 2 rewritten in Mini-Cecil (internal/programs), and the
+// harness that regenerates every table and figure of the evaluation
+// (internal/bench).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=. -benchmem
+package selspec

@@ -1,0 +1,3 @@
+module selspec
+
+go 1.22

@@ -1,0 +1,429 @@
+// Package bench is the experiment harness: it reruns the paper's
+// evaluation (Section 4) — Table 1, Table 2, Figure 5 (dynamic
+// dispatches and execution speed, normalized to Base) and Figure 6
+// (compiled routines, statically and under dynamic compilation) — over
+// the four embedded benchmarks, plus the §3.2 specialization-count
+// statistics and the headline improvement numbers.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"selspec/internal/driver"
+	"selspec/internal/interp"
+	"selspec/internal/opt"
+	"selspec/internal/programs"
+	"selspec/internal/specialize"
+)
+
+// Result is one (benchmark, configuration) measurement.
+type Result struct {
+	Benchmark string
+	Config    opt.Config
+
+	Dispatches     uint64 // dynamically dispatched sends
+	VersionSelects uint64
+	Cycles         uint64 // abstract cost model ("execution speed")
+	Wall           time.Duration
+
+	StaticVersions  int // routines a static compile produces (Fig 6 left)
+	InvokedVersions int // routines invoked at run time (Fig 6 right)
+	IRNodes         int // compiled code size in IR nodes
+
+	SpecStats *specialize.Stats // Selective only
+}
+
+// DynamicDispatches is the Figure 5 metric.
+func (r *Result) DynamicDispatches() uint64 { return r.Dispatches + r.VersionSelects }
+
+// Options tunes a harness run.
+type Options struct {
+	SpecParams specialize.Params
+	// Quick shrinks measurement inputs (for tests); the shape survives.
+	Quick     bool
+	StepLimit uint64
+}
+
+// Run executes one benchmark under one configuration and collects
+// every metric the figures need.
+func Run(b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
+	p, err := driver.Load(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return RunOn(p, b, cfg, ho)
+}
+
+// RunOn is Run against an already-loaded pipeline (so a suite can reuse
+// the lowering across configurations).
+func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
+	test := b.Test
+	if ho.Quick {
+		test = b.Train
+	}
+
+	oo := opt.Options{Config: cfg}
+	switch cfg {
+	case opt.CustMM:
+		oo.Lazy = true
+	case opt.Selective:
+		cg, err := p.CollectProfile(driver.RunOptions{Overrides: b.Train, StepLimit: ho.StepLimit})
+		if err != nil {
+			return nil, fmt.Errorf("%s profile: %w", b.Name, err)
+		}
+		res := specialize.Run(p.Prog, cg, ho.SpecParams)
+		oo.Specializations = res.Specializations
+		c, err := opt.Compile(p.Prog, oo)
+		if err != nil {
+			return nil, err
+		}
+		out, err := measure(c, b, test, ho)
+		if err != nil {
+			return nil, err
+		}
+		out.SpecStats = &res.Stats
+		return out, nil
+	}
+
+	c, err := opt.Compile(p.Prog, oo)
+	if err != nil {
+		return nil, err
+	}
+	return measure(c, b, test, ho)
+}
+
+func measure(c *opt.Compiled, b programs.Benchmark, test map[string]int64, ho Options) (*Result, error) {
+	res, err := driver.Execute(c, driver.RunOptions{
+		Overrides: test,
+		Mechanism: interp.MechPIC,
+		StepLimit: ho.StepLimit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v: %w", b.Name, c.Opts.Config, err)
+	}
+	return &Result{
+		Benchmark:       b.Name,
+		Config:          c.Opts.Config,
+		Dispatches:      res.Counters.Dispatches,
+		VersionSelects:  res.Counters.VersionSelects,
+		Cycles:          res.Counters.Cycles,
+		Wall:            res.Wall,
+		StaticVersions:  c.StaticVersionCount(),
+		InvokedVersions: res.Invoked,
+		IRNodes:         res.Stats.IRNodes,
+	}, nil
+}
+
+// Suite holds the full benchmark × configuration result matrix.
+type Suite struct {
+	Results map[string]map[opt.Config]*Result
+	Names   []string
+}
+
+// RunSuite measures every benchmark under every configuration.
+func RunSuite(ho Options) (*Suite, error) {
+	s := &Suite{Results: map[string]map[opt.Config]*Result{}}
+	for _, b := range programs.All() {
+		p, err := driver.Load(b.Source)
+		if err != nil {
+			return nil, err
+		}
+		row := map[opt.Config]*Result{}
+		for _, cfg := range opt.Configs() {
+			r, err := RunOn(p, b, cfg, ho)
+			if err != nil {
+				return nil, err
+			}
+			row[cfg] = r
+		}
+		s.Results[b.Name] = row
+		s.Names = append(s.Names, b.Name)
+	}
+	sort.Strings(s.Names)
+	// Keep Table 2 order rather than alphabetical.
+	s.Names = s.Names[:0]
+	for _, b := range programs.All() {
+		s.Names = append(s.Names, b.Name)
+	}
+	return s, nil
+}
+
+// Table1 renders the compiler-configuration table (paper Table 1).
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Compiler Configurations")
+	rows := []struct{ name, desc string }{
+		{"Base", "Intraprocedural class analysis, inlining, constant propagation & folding, dead-code elimination (closure elimination), hard-wired class prediction for primitives. One compiled version per source method."},
+		{"Cust", "Base + simple customization: specialize each method for each inheriting class of the receiver argument (Self/Sather/Trellis)."},
+		{"Cust-MM", "Base + customization extended to multi-methods: one version per combination of dispatched argument classes (lazy compilation only)."},
+		{"CHA", "Base + class hierarchy analysis: dynamically-bound calls become statically bound when the hierarchy shows no overriding methods."},
+		{"Selective", "CHA + the profile-guided selective specialization algorithm (threshold 1,000 invocations)."},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s  %s\n", r.name, r.desc)
+	}
+}
+
+// Table2 renders the benchmark table (paper Table 2) with both the
+// paper's sizes and this reproduction's program sizes.
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Benchmarks")
+	fmt.Fprintf(w, "  %-12s %-12s %-12s %s\n", "Program", "Paper lines", "Repro lines", "Description")
+	for _, b := range programs.All() {
+		lines := strings.Count(b.Source, "\n")
+		fmt.Fprintf(w, "  %-12s %-12d %-12d %s\n", b.Name, b.PaperLines, lines, b.Description)
+	}
+}
+
+func (s *Suite) norm(bench string, cfg opt.Config, f func(*Result) float64) float64 {
+	base := f(s.Results[bench][opt.Base])
+	if base == 0 {
+		return 0
+	}
+	return f(s.Results[bench][cfg]) / base
+}
+
+// Figure5a renders the number of dynamic dispatches normalized to Base
+// (left panel of the paper's Figure 5; lower is better).
+func (s *Suite) Figure5a(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5 (left): Number of dynamic dispatches, normalized to Base")
+	s.matrix(w, func(r *Result) float64 { return float64(r.DynamicDispatches()) }, false)
+}
+
+// Figure5b renders execution speed (Base cycles / config cycles)
+// normalized to Base (right panel of Figure 5; higher is better).
+func (s *Suite) Figure5b(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5 (right): Execution speed, normalized to Base (cycle model)")
+	s.matrix(w, func(r *Result) float64 { return float64(r.Cycles) }, true)
+}
+
+// Figure6a renders compiled routines in a statically-compiled system,
+// normalized to Base (left panel of Figure 6).
+func (s *Suite) Figure6a(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 (left): Compiled routines, static system, normalized to Base")
+	s.matrix(w, func(r *Result) float64 { return float64(r.StaticVersions) }, false)
+}
+
+// Figure6b renders routines invoked (compiled) under dynamic
+// compilation, normalized to Base (right panel of Figure 6).
+func (s *Suite) Figure6b(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 (right): Invoked routines, dynamic compilation, normalized to Base")
+	s.matrix(w, func(r *Result) float64 { return float64(r.InvokedVersions) }, false)
+}
+
+// matrix prints one metric for every benchmark × config. invert=true
+// reports base/val (speedups), otherwise val/base.
+func (s *Suite) matrix(w io.Writer, f func(*Result) float64, invert bool) {
+	fmt.Fprintf(w, "  %-12s", "Program")
+	for _, cfg := range opt.Configs() {
+		fmt.Fprintf(w, " %10s", cfg)
+	}
+	fmt.Fprintln(w)
+	for _, name := range s.Names {
+		fmt.Fprintf(w, "  %-12s", name)
+		for _, cfg := range opt.Configs() {
+			v := s.norm(name, cfg, f)
+			if invert && v != 0 {
+				v = 1 / v
+			}
+			fmt.Fprintf(w, " %10.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  (raw Base:")
+	for _, name := range s.Names {
+		fmt.Fprintf(w, " %s=%.0f", name, f(s.Results[name][opt.Base]))
+	}
+	fmt.Fprintln(w, ")")
+}
+
+// SpecStats prints the §3.2 statistics ("an average of 1.9
+// specializations per method receiving any specializations, with a
+// maximum of 8").
+func (s *Suite) SpecStats(w io.Writer) {
+	fmt.Fprintln(w, "Specialization statistics (paper §3.2: avg 1.9 per specialized method, max 8)")
+	totalAdded, totalMeth, max := 0, 0, 0
+	for _, name := range s.Names {
+		st := s.Results[name][opt.Selective].SpecStats
+		if st == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s methods=%d added=%d max=%d avg=%.2f cascades=%d\n",
+			name, st.MethodsSpecialized, st.AddedSpecs, st.MaxPerMethod, st.AvgPerMethod, st.CascadeRequests)
+		totalAdded += st.AddedSpecs
+		totalMeth += st.MethodsSpecialized
+		if st.MaxPerMethod > max {
+			max = st.MaxPerMethod
+		}
+	}
+	if totalMeth > 0 {
+		fmt.Fprintf(w, "  %-12s avg=%.2f max=%d\n", "OVERALL", float64(totalAdded)/float64(totalMeth), max)
+	}
+}
+
+// Headline prints the paper's abstract-level claims next to the
+// measured equivalents.
+func (s *Suite) Headline(w io.Writer) {
+	fmt.Fprintln(w, "Headline comparison (paper abstract)")
+	var selSpeedMin, selSpeedMax float64 = 1e9, 0
+	var spaceMin, spaceMax float64 = 1e9, 0
+	var vsCustSpeedMin, vsCustSpeedMax float64 = 1e9, 0
+	var vsCustSpaceMin, vsCustSpaceMax float64 = 1e9, 0
+	for _, name := range s.Names {
+		base := s.Results[name][opt.Base]
+		cust := s.Results[name][opt.Cust]
+		sel := s.Results[name][opt.Selective]
+		speed := float64(base.Cycles)/float64(sel.Cycles) - 1
+		space := float64(sel.IRNodes)/float64(base.IRNodes) - 1
+		vsCust := float64(cust.Cycles)/float64(sel.Cycles) - 1
+		vsCustSpace := 1 - float64(sel.StaticVersions)/float64(cust.StaticVersions)
+		fmt.Fprintf(w, "  %-12s speed vs Base %+.0f%%  space vs Base %+.0f%%  speed vs Cust %+.0f%%  versions vs Cust %.0f%% fewer\n",
+			name, speed*100, space*100, vsCust*100, vsCustSpace*100)
+		selSpeedMin, selSpeedMax = minf(selSpeedMin, speed), maxf(selSpeedMax, speed)
+		spaceMin, spaceMax = minf(spaceMin, space), maxf(spaceMax, space)
+		vsCustSpeedMin, vsCustSpeedMax = minf(vsCustSpeedMin, vsCust), maxf(vsCustSpeedMax, vsCust)
+		vsCustSpaceMin, vsCustSpaceMax = minf(vsCustSpaceMin, vsCustSpace), maxf(vsCustSpaceMax, vsCustSpace)
+	}
+	fmt.Fprintf(w, "  measured: Selective speeds up programs %.0f%%..%.0f%% over Base (paper: 65%%..275%%)\n",
+		selSpeedMin*100, selSpeedMax*100)
+	fmt.Fprintf(w, "  measured: code space %+.0f%%..%+.0f%% vs Base (paper: +4%%..+10%%)\n",
+		spaceMin*100, spaceMax*100)
+	fmt.Fprintf(w, "  measured: %+.0f%%..%+.0f%% speed vs Cust (paper: +11%%..+67%%)\n",
+		vsCustSpeedMin*100, vsCustSpeedMax*100)
+	fmt.Fprintf(w, "  measured: %.0f%%..%.0f%% fewer versions than Cust (paper: 65%%..73%% fewer)\n",
+		vsCustSpaceMin*100, vsCustSpaceMax*100)
+}
+
+// DispatchEliminationSummary prints, per configuration, the percentage
+// of Base dispatches eliminated (the paper's 35-61% / 41-62% / 33-54% /
+// 54-66% ranges).
+func (s *Suite) DispatchEliminationSummary(w io.Writer) {
+	fmt.Fprintln(w, "Dynamic dispatches eliminated vs Base (paper: Cust 35-61%, Cust-MM 41-62%, CHA 33-54%, Selective 54-66%)")
+	for _, cfg := range []opt.Config{opt.Cust, opt.CustMM, opt.CHA, opt.Selective} {
+		var lo, hi float64 = 1e9, -1e9
+		for _, name := range s.Names {
+			elim := 1 - s.norm(name, cfg, func(r *Result) float64 { return float64(r.DynamicDispatches()) })
+			lo, hi = minf(lo, elim), maxf(hi, elim)
+		}
+		fmt.Fprintf(w, "  %-9s %.0f%%..%.0f%%\n", cfg, lo*100, hi*100)
+	}
+}
+
+// CSV writes the full result matrix in machine-readable form (one row
+// per benchmark × configuration), for plotting the figures elsewhere.
+func (s *Suite) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "config", "dispatches", "version_selects", "cycles",
+		"static_versions", "invoked_versions", "ir_nodes", "wall_ns",
+	}); err != nil {
+		return err
+	}
+	for _, name := range s.Names {
+		for _, cfg := range opt.Configs() {
+			r := s.Results[name][cfg]
+			rec := []string{
+				name, cfg.String(),
+				fmt.Sprint(r.Dispatches), fmt.Sprint(r.VersionSelects), fmt.Sprint(r.Cycles),
+				fmt.Sprint(r.StaticVersions), fmt.Sprint(r.InvokedVersions), fmt.Sprint(r.IRNodes),
+				fmt.Sprint(r.Wall.Nanoseconds()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Extensions measures the two post-paper analyses implemented beyond
+// the published system (§6 return-type propagation and RTA-style
+// instantiation analysis) on top of CHA and Selective, plus the
+// Collections library workload that motivates them.
+func Extensions(w io.Writer, ho Options) error {
+	fmt.Fprintln(w, "Extensions (beyond the published system): return-type analysis + instantiation analysis")
+	fmt.Fprintf(w, "  %-14s %-22s %12s %12s %10s\n", "Program", "config", "dispatches", "cycles", "versions")
+	benches := append(programs.All(), programs.Collections())
+	for _, b := range benches {
+		p, err := driver.Load(b.Source)
+		if err != nil {
+			return err
+		}
+		rows := []struct {
+			name string
+			cfg  opt.Config
+			ext  bool
+		}{
+			{"Base", opt.Base, false},
+			{"CHA", opt.CHA, false},
+			{"CHA+ext", opt.CHA, true},
+			{"Selective", opt.Selective, false},
+			{"Selective+ext", opt.Selective, true},
+		}
+		for _, row := range rows {
+			oo := opt.Options{Config: row.cfg, ReturnTypeAnalysis: row.ext, InstantiationAnalysis: row.ext}
+			if row.cfg == opt.Selective {
+				cg, err := p.CollectProfile(driver.RunOptions{Overrides: b.Train, StepLimit: ho.StepLimit})
+				if err != nil {
+					return err
+				}
+				oo.Specializations = specialize.Run(p.Prog, cg, ho.SpecParams).Specializations
+			}
+			c, err := opt.Compile(p.Prog, oo)
+			if err != nil {
+				return err
+			}
+			test := b.Test
+			if ho.Quick {
+				test = b.Train
+			}
+			res, err := driver.Execute(c, driver.RunOptions{Overrides: test, StepLimit: ho.StepLimit})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-14s %-22s %12d %12d %10d\n",
+				b.Name, row.name, res.Counters.DynamicDispatches(), res.Counters.Cycles, res.Stats.Versions)
+		}
+	}
+	return nil
+}
+
+// Report renders everything.
+func (s *Suite) Report(w io.Writer) {
+	Table1(w)
+	fmt.Fprintln(w)
+	Table2(w)
+	fmt.Fprintln(w)
+	s.Figure5a(w)
+	fmt.Fprintln(w)
+	s.Figure5b(w)
+	fmt.Fprintln(w)
+	s.Figure6a(w)
+	fmt.Fprintln(w)
+	s.Figure6b(w)
+	fmt.Fprintln(w)
+	s.DispatchEliminationSummary(w)
+	fmt.Fprintln(w)
+	s.SpecStats(w)
+	fmt.Fprintln(w)
+	s.Headline(w)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selspec/internal/opt"
+	"selspec/internal/programs"
+	"selspec/internal/specialize"
+)
+
+// quickSuite runs the full matrix on training-size inputs (fast) and is
+// shared by the rendering tests.
+var cachedSuite *Suite
+
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	if cachedSuite != nil {
+		return cachedSuite
+	}
+	s, err := RunSuite(Options{
+		Quick:      true,
+		StepLimit:  500_000_000,
+		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSuite = s
+	return s
+}
+
+func TestRunSuiteCompleteMatrix(t *testing.T) {
+	s := quickSuite(t)
+	if len(s.Names) != 4 {
+		t.Fatalf("suite names = %v", s.Names)
+	}
+	for _, name := range s.Names {
+		for _, cfg := range opt.Configs() {
+			r := s.Results[name][cfg]
+			if r == nil {
+				t.Fatalf("missing result %s/%v", name, cfg)
+			}
+			if r.Dispatches == 0 && r.VersionSelects == 0 {
+				t.Errorf("%s/%v reports no dispatches", name, cfg)
+			}
+			if r.Cycles == 0 || r.StaticVersions == 0 || r.InvokedVersions == 0 {
+				t.Errorf("%s/%v has empty metrics: %+v", name, cfg, r)
+			}
+		}
+		if s.Results[name][opt.Selective].SpecStats == nil {
+			t.Errorf("%s: Selective lacks SpecStats", name)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var b bytes.Buffer
+	Table1(&b)
+	if !strings.Contains(b.String(), "Cust-MM") || !strings.Contains(b.String(), "Selective") {
+		t.Errorf("Table1 output incomplete:\n%s", b.String())
+	}
+	b.Reset()
+	Table2(&b)
+	out := b.String()
+	for _, want := range []string{"Richards", "InstSched", "Typechecker", "Compiler", "37500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	s := quickSuite(t)
+	var b bytes.Buffer
+	s.Report(&b)
+	out := b.String()
+	for _, want := range []string{
+		"Figure 5 (left)", "Figure 5 (right)",
+		"Figure 6 (left)", "Figure 6 (right)",
+		"Dynamic dispatches eliminated",
+		"Specialization statistics",
+		"Headline comparison",
+		"Richards", "Selective",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigureNormalization(t *testing.T) {
+	s := quickSuite(t)
+	for _, name := range s.Names {
+		// Base always normalizes to exactly 1.
+		if v := s.norm(name, opt.Base, func(r *Result) float64 { return float64(r.DynamicDispatches()) }); v != 1 {
+			t.Errorf("%s: Base normalizes to %f", name, v)
+		}
+		// Selective eliminates dispatches.
+		if v := s.norm(name, opt.Selective, func(r *Result) float64 { return float64(r.DynamicDispatches()) }); v >= 1 {
+			t.Errorf("%s: Selective dispatch ratio %f >= 1", name, v)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	s := quickSuite(t)
+	var b bytes.Buffer
+	if err := s.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header + 4 benchmarks × 5 configs.
+	if len(lines) != 1+4*5 {
+		t.Fatalf("CSV rows = %d, want 21", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,config,dispatches") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Richards,Base,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	b, _ := programs.ByName("Richards")
+	r, err := Run(b, opt.CHA, Options{Quick: true, StepLimit: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "Richards" || r.Config != opt.CHA {
+		t.Fatalf("result identity wrong: %+v", r)
+	}
+	if r.Wall <= 0 {
+		t.Error("wall time not measured")
+	}
+}

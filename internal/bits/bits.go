@@ -1,0 +1,308 @@
+// Package bits provides a dense bitset used throughout the compiler for
+// sets of classes. Class IDs are small consecutive integers, so a packed
+// []uint64 representation makes the set algebra at the heart of the
+// selective specialization algorithm (tuple intersection, subset tests,
+// cone computations) cheap and allocation-friendly.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a growable bitset. The zero value is an empty set ready to use.
+// Methods that mutate the receiver have pointer receivers; pure queries
+// accept value receivers so Sets can be used as map values if needed.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity hint n bits.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice builds a set containing exactly the given elements.
+func FromSlice(elems []int) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Of builds a set from its arguments.
+func Of(elems ...int) *Set { return FromSlice(elems) }
+
+func (s *Set) ensure(i int) {
+	w := i / wordBits
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i into the set. i must be non-negative.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bits: negative element %d", i))
+	}
+	s.ensure(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set; removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 {
+		return
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if s == nil || i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return &Set{}
+	}
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// AddAll inserts every element of t into s and reports whether s changed.
+func (s *Set) AddAll(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	changed := false
+	if len(s.words) < len(t.words) {
+		s.words = append(s.words, make([]uint64, len(t.words)-len(s.words))...)
+	}
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// RemoveAll deletes every element of t from s.
+func (s *Set) RemoveAll(t *Set) {
+	if t == nil {
+		return
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// RetainAll intersects s with t in place.
+func (s *Set) RetainAll(t *Set) {
+	for i := range s.words {
+		if t == nil || i >= len(t.words) {
+			s.words[i] = 0
+		} else {
+			s.words[i] &= t.words[i]
+		}
+	}
+}
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t *Set) *Set {
+	u := s.Clone()
+	u.AddAll(t)
+	return u
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t *Set) *Set {
+	u := s.Clone()
+	u.RetainAll(t)
+	return u
+}
+
+// Difference returns a new set holding s \ t.
+func Difference(s, t *Set) *Set {
+	u := s.Clone()
+	u.RemoveAll(t)
+	return u
+}
+
+// Intersects reports whether s ∩ t is non-empty without allocating.
+func (s *Set) Intersects(t *Set) bool {
+	if s == nil || t == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	if s == nil {
+		return true
+	}
+	for i, w := range s.words {
+		var tw uint64
+		if t != nil && i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// Elems returns the elements of the set in ascending order.
+func (s *Set) Elems() []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls f on every element in ascending order. If f returns
+// false, iteration stops early.
+func (s *Set) ForEach(f func(int) bool) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	if s == nil {
+		return -1
+	}
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Hash returns a cheap content hash, usable for dedup tables.
+func (s *Set) Hash() uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	if s == nil {
+		return h
+	}
+	for _, w := range s.words {
+		// Skip trailing zero words so logically-equal sets with
+		// different capacities hash identically.
+		h ^= w
+		h *= 1099511628211
+	}
+	// Normalize: recompute skipping zero suffix.
+	h = 1469598103934665603
+	last := len(s.words) - 1
+	for last >= 0 && s.words[last] == 0 {
+		last--
+	}
+	for i := 0; i <= last; i++ {
+		h ^= s.words[i]
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the set as "{a b c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,279 @@
+package bits
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(10)
+	if s.Has(3) {
+		t.Fatal("empty set has 3")
+	}
+	s.Add(3)
+	s.Add(200) // beyond capacity hint: must grow
+	if !s.Has(3) || !s.Has(200) {
+		t.Fatalf("missing elements: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Remove(3)
+	if s.Has(3) {
+		t.Fatal("removed element still present")
+	}
+	s.Remove(999) // absent, out of range: no-op
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestNilReceiverQueries(t *testing.T) {
+	var s *Set
+	if s.Has(0) || s.Len() != 0 || !s.Empty() {
+		t.Fatal("nil set should behave as empty")
+	}
+	if got := s.Elems(); len(got) != 0 {
+		t.Fatalf("nil Elems = %v", got)
+	}
+	if s.Min() != -1 {
+		t.Fatal("nil Min should be -1")
+	}
+	if !s.SubsetOf(Of(1, 2)) {
+		t.Fatal("nil should be subset of anything")
+	}
+	c := s.Clone()
+	if c == nil || !c.Empty() {
+		t.Fatal("Clone of nil should be empty non-nil")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(1, 2, 3, 64, 65)
+	b := Of(2, 3, 4, 65, 130)
+
+	if got := Union(a, b).Elems(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 64, 65, 130}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, b).Elems(); !reflect.DeepEqual(got, []int{2, 3, 65}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Difference(a, b).Elems(); !reflect.DeepEqual(got, []int{1, 64}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if Of(9).Intersects(Of(10)) {
+		t.Error("{9} should not intersect {10}")
+	}
+	if !Of(2, 3).SubsetOf(a) {
+		t.Error("{2,3} ⊆ a")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a ⊄ b")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := New(1000)
+	a.Add(5)
+	b := Of(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with different capacities but same elements must be Equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets must hash equally")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(1, 2)
+	c := a.Clone()
+	c.Add(7)
+	if a.Has(7) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestClearAndEmpty(t *testing.T) {
+	a := Of(3, 100)
+	a.Clear()
+	if !a.Empty() || a.Len() != 0 {
+		t.Fatal("Clear did not empty the set")
+	}
+}
+
+func TestMinForEach(t *testing.T) {
+	a := Of(70, 3, 12)
+	if a.Min() != 3 {
+		t.Fatalf("Min = %d", a.Min())
+	}
+	var seen []int
+	a.ForEach(func(i int) bool { seen = append(seen, i); return true })
+	if !reflect.DeepEqual(seen, []int{3, 12, 70}) {
+		t.Fatalf("ForEach order = %v", seen)
+	}
+	// Early stop.
+	count := 0
+	a.ForEach(func(int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("ForEach early stop visited %d", count)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(1, 5).String(); got != "{1 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestAddAllReportsChange(t *testing.T) {
+	a := Of(1)
+	if !a.AddAll(Of(2)) {
+		t.Fatal("AddAll should report change")
+	}
+	if a.AddAll(Of(1, 2)) {
+		t.Fatal("AddAll of subset should report no change")
+	}
+}
+
+// randomSet generates a set over [0, 192) for property tests, exercising
+// multi-word behaviour.
+func randomSet(r *rand.Rand) *Set {
+	s := New(192)
+	n := r.Intn(40)
+	for i := 0; i < n; i++ {
+		s.Add(r.Intn(192))
+	}
+	return s
+}
+
+type setPair struct{ A, B *Set }
+
+func (setPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setPair{randomSet(r), randomSet(r)})
+}
+
+type setTriple struct{ A, B, C *Set }
+
+func (setTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setTriple{randomSet(r), randomSet(r), randomSet(r)})
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(p setPair) bool { return Union(p.A, p.B).Equal(Union(p.B, p.A)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	f := func(p setPair) bool { return Intersect(p.A, p.B).Equal(Intersect(p.B, p.A)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// A \ (B ∪ C) == (A \ B) ∩ (A \ C)
+	f := func(p setTriple) bool {
+		lhs := Difference(p.A, Union(p.B, p.C))
+		rhs := Intersect(Difference(p.A, p.B), Difference(p.A, p.C))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionSubset(t *testing.T) {
+	f := func(p setPair) bool {
+		i := Intersect(p.A, p.B)
+		return i.SubsetOf(p.A) && i.SubsetOf(p.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsConsistent(t *testing.T) {
+	f := func(p setPair) bool {
+		return p.A.Intersects(p.B) == !Intersect(p.A, p.B).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElemsSortedUnique(t *testing.T) {
+	f := func(p setPair) bool {
+		e := p.A.Elems()
+		if !sort.IntsAreSorted(e) {
+			return false
+		}
+		for i := 1; i < len(e); i++ {
+			if e[i] == e[i-1] {
+				return false
+			}
+		}
+		return len(e) == p.A.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetAntisymmetry(t *testing.T) {
+	f := func(p setPair) bool {
+		if p.A.SubsetOf(p.B) && p.B.SubsetOf(p.A) {
+			return p.A.Equal(p.B)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashEqualConsistent(t *testing.T) {
+	f := func(p setPair) bool {
+		if p.A.Equal(p.B) {
+			return p.A.Hash() == p.B.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInPlaceMatchesPure(t *testing.T) {
+	f := func(p setPair) bool {
+		u := p.A.Clone()
+		u.AddAll(p.B)
+		i := p.A.Clone()
+		i.RetainAll(p.B)
+		d := p.A.Clone()
+		d.RemoveAll(p.B)
+		return u.Equal(Union(p.A, p.B)) && i.Equal(Intersect(p.A, p.B)) && d.Equal(Difference(p.A, p.B))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package dispatch
+
+import (
+	"testing"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+)
+
+// Micro-benchmarks for the three §3.5 lookup mechanisms, isolating the
+// per-dispatch costs the interpreter's cycle model abstracts.
+
+func benchHier(b *testing.B) (*hier.Hierarchy, *hier.GF, []*hier.Class) {
+	b.Helper()
+	h, err := hier.Build(lang.MustParse(hierSrc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := h.GF("mm", 2)
+	var cs []*hier.Class
+	for _, n := range []string{"A", "B", "C", "D"} {
+		c, _ := h.Class(n)
+		cs = append(cs, c)
+	}
+	return h, g, cs
+}
+
+func BenchmarkFullLookup(b *testing.B) {
+	h, g, cs := benchHier(b)
+	args := make([]*hier.Class, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args[0] = cs[i%len(cs)]
+		args[1] = cs[(i/2)%len(cs)]
+		h.Lookup(g, args...)
+	}
+}
+
+func BenchmarkPICHit(b *testing.B) {
+	_, _, cs := benchHier(b)
+	p := NewPIC(0)
+	v := &ir.Version{}
+	for _, c1 := range cs {
+		for _, c2 := range cs {
+			p.Add([]*hier.Class{c1, c2}, Target{Version: v})
+		}
+	}
+	args := make([]*hier.Class, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args[0] = cs[i%len(cs)]
+		args[1] = cs[(i/2)%len(cs)]
+		p.Lookup(args)
+	}
+}
+
+func BenchmarkMMTableLookup(b *testing.B) {
+	h, g, cs := benchHier(b)
+	tab, err := NewMMTable(h, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := make([]*hier.Class, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args[0] = cs[i%len(cs)]
+		args[1] = cs[(i/2)%len(cs)]
+		tab.Lookup(args)
+	}
+}
+
+func BenchmarkMMTableBuild(b *testing.B) {
+	h, g, _ := benchHier(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMMTable(h, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+)
+
+const hierSrc = `
+class A
+class B isa A
+class C isa A
+class D isa B
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method mm(x@A, y@A) { 1; }
+method mm(x@B, y@B) { 2; }
+method mm(x@A, y@C) { 3; }
+method mm(x@B, y@C) { 4; }
+method plain(x, y) { 5; }
+`
+
+func buildHier(t *testing.T) *hier.Hierarchy {
+	t.Helper()
+	h, err := hier.Build(lang.MustParse(hierSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func cls(t *testing.T, h *hier.Hierarchy, name string) *hier.Class {
+	t.Helper()
+	c, ok := h.Class(name)
+	if !ok {
+		t.Fatalf("no class %s", name)
+	}
+	return c
+}
+
+func TestPICBasics(t *testing.T) {
+	h := buildHier(t)
+	p := NewPIC(2)
+	a, b := cls(t, h, "A"), cls(t, h, "B")
+	va := &ir.Version{}
+	vb := &ir.Version{}
+
+	if _, ok := p.Lookup([]*hier.Class{a}); ok {
+		t.Fatal("empty PIC hit")
+	}
+	p.Add([]*hier.Class{a}, Target{Version: va})
+	p.Add([]*hier.Class{b}, Target{Version: vb})
+	if got, ok := p.Lookup([]*hier.Class{a}); !ok || got.Version != va {
+		t.Fatal("PIC miss for A")
+	}
+	if got, ok := p.Lookup([]*hier.Class{b}); !ok || got.Version != vb {
+		t.Fatal("PIC miss for B")
+	}
+	if p.Hits != 2 || p.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", p.Hits, p.Misses)
+	}
+	if !p.Megamorphic() || p.Len() != 2 {
+		t.Error("PIC should be at capacity")
+	}
+	// Beyond capacity: Add is a no-op.
+	p.Add([]*hier.Class{cls(t, h, "C")}, Target{})
+	if p.Len() != 2 {
+		t.Error("megamorphic PIC grew")
+	}
+	if got := p.Entries(); len(got) != 2 {
+		t.Errorf("Entries = %d", len(got))
+	}
+}
+
+func TestPICKeyCoversAllPositions(t *testing.T) {
+	h := buildHier(t)
+	p := NewPIC(0)
+	a, b := cls(t, h, "A"), cls(t, h, "B")
+	v1, v2 := &ir.Version{}, &ir.Version{}
+	p.Add([]*hier.Class{a, b}, Target{Version: v1})
+	p.Add([]*hier.Class{b, a}, Target{Version: v2})
+	if got, ok := p.Lookup([]*hier.Class{a, b}); !ok || got.Version != v1 {
+		t.Fatal("(A,B) lookup wrong")
+	}
+	if got, ok := p.Lookup([]*hier.Class{b, a}); !ok || got.Version != v2 {
+		t.Fatal("(B,A) lookup wrong")
+	}
+	if _, ok := p.Lookup([]*hier.Class{a}); ok {
+		t.Fatal("arity-mismatched entry matched")
+	}
+}
+
+func TestDefaultPICSize(t *testing.T) {
+	p := NewPIC(0)
+	if p.max != DefaultPICSize {
+		t.Fatalf("default size = %d", p.max)
+	}
+}
+
+func TestSingleTableMatchesLookup(t *testing.T) {
+	h := buildHier(t)
+	g, _ := h.GF("m", 1)
+	tab, err := NewSingleTable(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range h.Classes() {
+		want, derr := h.Lookup(g, c)
+		got := tab.Lookup([]*hier.Class{c})
+		if derr != nil {
+			if got != nil {
+				t.Errorf("table found %v for %s, lookup errs", got, c.Name)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("table(%s) = %v, want %v", c.Name, got, want)
+		}
+	}
+}
+
+func TestSingleTableRejectsMultiDispatch(t *testing.T) {
+	h := buildHier(t)
+	g, _ := h.GF("mm", 2)
+	if _, err := NewSingleTable(h, g); err == nil {
+		t.Fatal("SingleTable should reject a 2-position GF")
+	}
+}
+
+func TestMMTableMatchesLookupExhaustively(t *testing.T) {
+	h := buildHier(t)
+	for _, key := range []string{"m", "mm"} {
+		var g *hier.GF
+		if key == "m" {
+			g, _ = h.GF("m", 1)
+		} else {
+			g, _ = h.GF("mm", 2)
+		}
+		tab, err := NewMMTable(h, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(classes []*hier.Class) {
+			want, derr := h.Lookup(g, classes...)
+			got, amb := tab.Lookup(classes)
+			if derr != nil {
+				if got != nil {
+					t.Errorf("%s%v: table %v, lookup err %v", g.Name, classes, got, derr)
+				} else if amb != derr.Ambiguous {
+					t.Errorf("%s%v: ambiguity flag %t, want %t", g.Name, classes, amb, derr.Ambiguous)
+				}
+				return
+			}
+			if got != want {
+				t.Errorf("%s%v: table %v, want %v", g.Name, classes, got, want)
+			}
+		}
+		if g.Arity == 1 {
+			for _, c := range h.Classes() {
+				check([]*hier.Class{c})
+			}
+		} else {
+			for _, c1 := range h.Classes() {
+				for _, c2 := range h.Classes() {
+					check([]*hier.Class{c1, c2})
+				}
+			}
+		}
+	}
+}
+
+func TestMMTableCompression(t *testing.T) {
+	h := buildHier(t)
+	g, _ := h.GF("mm", 2)
+	tab, err := NewMMTable(h, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Size() >= tab.UncompressedSize(h) {
+		t.Errorf("no compression: %d vs %d", tab.Size(), tab.UncompressedSize(h))
+	}
+	// Position 0 poles: {A,C-like classes applicable only to @A} vs
+	// {B,D applicable to both} → 2; position 1: A/B/D vs C → at most 3.
+	if tab.Size() > 6 {
+		t.Errorf("table size %d unexpectedly large", tab.Size())
+	}
+}
+
+func TestMMTableRejectsUndispatched(t *testing.T) {
+	h := buildHier(t)
+	g, _ := h.GF("plain", 2)
+	if _, err := NewMMTable(h, g); err == nil {
+		t.Fatal("MMTable should reject a GF with no dispatched positions")
+	}
+}
+
+// TestMMTableRandomHierarchies cross-checks the compressed table
+// against the reference lookup on randomly generated hierarchies and
+// method sets.
+func TestMMTableRandomHierarchies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	classNames := []string{"C0", "C1", "C2", "C3", "C4", "C5"}
+	for round := 0; round < 40; round++ {
+		src := ""
+		for i, n := range classNames {
+			src += "class " + n
+			if i > 0 {
+				src += " isa " + classNames[rng.Intn(i)]
+			}
+			src += "\n"
+		}
+		arity := 1 + rng.Intn(2)
+		seen := map[string]bool{}
+		nm := 1 + rng.Intn(4)
+		body := 0
+		for k := 0; k < nm; k++ {
+			s1 := classNames[rng.Intn(len(classNames))]
+			s2 := classNames[rng.Intn(len(classNames))]
+			key := s1 + "/" + s2
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if arity == 1 {
+				src += "method f(x@" + s1 + ") { " + itoa(body) + "; }\n"
+			} else {
+				src += "method f(x@" + s1 + ", y@" + s2 + ") { " + itoa(body) + "; }\n"
+			}
+			body++
+		}
+		h, err := hier.Build(lang.MustParse(src))
+		if err != nil {
+			continue // e.g. duplicate single-dispatch specializers
+		}
+		g, ok := h.GF("f", arity)
+		if !ok {
+			continue
+		}
+		if len(g.DispatchedPositions()) == 0 {
+			continue
+		}
+		tab, err := NewMMTable(h, g)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		classes := make([]*hier.Class, arity)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == arity {
+				want, derr := h.Lookup(g, classes...)
+				got, amb := tab.Lookup(classes)
+				if derr != nil {
+					if got != nil || amb != derr.Ambiguous {
+						t.Fatalf("round %d %v: table (%v,%t) vs err %v\n%s", round, classes, got, amb, derr, src)
+					}
+					return
+				}
+				if got != want {
+					t.Fatalf("round %d %v: table %v want %v\n%s", round, classes, got, want, src)
+				}
+				return
+			}
+			for _, c := range h.Classes() {
+				classes[pos] = c
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,94 @@
+// Package dispatch implements the run-time method lookup mechanisms
+// discussed in §3.5 of the paper: polymorphic inline caches (Hölzle,
+// Chambers & Ungar), dense single-dispatch tables, and compressed
+// multi-method dispatch tables (in the style of Amiel et al. / Chen et
+// al.), all extended to select among specialized method versions.
+package dispatch
+
+import (
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+)
+
+// Target is the result of a dispatch: the most-specific method and the
+// specialized version selected for the actual argument classes.
+type Target struct {
+	Method  *hier.Method
+	Version *ir.Version
+}
+
+// DefaultPICSize is the default entry bound of a polymorphic inline
+// cache; beyond it the site is treated as megamorphic and entries are
+// no longer added.
+const DefaultPICSize = 8
+
+type picEntry struct {
+	classes []*hier.Class
+	target  Target
+}
+
+// PIC is a call-site-specific polymorphic inline cache: an association
+// list mapping actual argument class tuples to dispatch targets. The
+// key covers every argument position because specialized versions may
+// constrain positions the generic function itself does not dispatch on.
+type PIC struct {
+	entries []picEntry
+	max     int
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewPIC returns a PIC bounded to max entries (0 = DefaultPICSize).
+func NewPIC(max int) *PIC {
+	if max <= 0 {
+		max = DefaultPICSize
+	}
+	return &PIC{max: max}
+}
+
+// Lookup searches the cache for the class tuple.
+func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
+outer:
+	for i := range p.entries {
+		e := &p.entries[i]
+		if len(e.classes) != len(classes) {
+			continue
+		}
+		for j, c := range e.classes {
+			if c != classes[j] {
+				continue outer
+			}
+		}
+		p.Hits++
+		return e.target, true
+	}
+	p.Misses++
+	return Target{}, false
+}
+
+// Add inserts an entry unless the cache is megamorphic (full).
+func (p *PIC) Add(classes []*hier.Class, t Target) {
+	if len(p.entries) >= p.max {
+		return
+	}
+	cp := make([]*hier.Class, len(classes))
+	copy(cp, classes)
+	p.entries = append(p.entries, picEntry{classes: cp, target: t})
+}
+
+// Len returns the number of cached entries.
+func (p *PIC) Len() int { return len(p.entries) }
+
+// Megamorphic reports whether the cache has hit its entry bound.
+func (p *PIC) Megamorphic() bool { return len(p.entries) >= p.max }
+
+// Entries returns the cached targets (for profile-style inspection: the
+// paper gathers its call graph from PIC counters, §3.7.2).
+func (p *PIC) Entries() []Target {
+	out := make([]Target, len(p.entries))
+	for i, e := range p.entries {
+		out[i] = e.target
+	}
+	return out
+}

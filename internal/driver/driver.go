@@ -1,0 +1,203 @@
+// Package driver ties the pipeline together: parse → lower → (profile
+// with an instrumented Base run) → selective specialization → compile
+// under a configuration → execute and measure. It is the programmatic
+// API behind the CLIs, the benchmark harness and the examples.
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"selspec/internal/interp"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+	"selspec/internal/opt"
+	"selspec/internal/profile"
+	"selspec/internal/specialize"
+)
+
+// Pipeline holds a loaded program; one Pipeline can be compiled and run
+// under many configurations (the call sites and method identities stay
+// stable, so profiles carry across).
+type Pipeline struct {
+	Prog *ir.Program
+}
+
+// Load parses and lowers source code.
+func Load(src string) (*Pipeline, error) {
+	parsed, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Lower(parsed)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Prog: prog}, nil
+}
+
+// MustLoad is Load for known-good embedded sources.
+func MustLoad(src string) *Pipeline {
+	p, err := Load(src)
+	if err != nil {
+		panic(fmt.Sprintf("driver.MustLoad: %v", err))
+	}
+	return p
+}
+
+// RunOptions controls one execution.
+type RunOptions struct {
+	// Overrides replaces named global variables after initialization
+	// and before main() — how the harness switches between training and
+	// measurement inputs without perturbing site/method identities.
+	Overrides map[string]int64
+	// CaptureOutput buffers print/println output into Result.Output.
+	CaptureOutput bool
+	// Profile, when non-nil, records the weighted call graph.
+	Profile *profile.CallGraph
+	// Mechanism selects the dispatch mechanism (default PIC).
+	Mechanism interp.Mechanism
+	// StepLimit guards against runaway programs (0 = unlimited).
+	StepLimit uint64
+}
+
+// Result reports one execution.
+type Result struct {
+	Config   opt.Config
+	Value    string
+	Output   string
+	Counters interp.Counters
+	Stats    opt.Stats
+	Invoked  int // distinct versions that ran
+	Wall     time.Duration
+}
+
+// Execute runs an already-compiled program.
+func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
+	in := interp.New(c)
+	var buf bytes.Buffer
+	if ro.CaptureOutput {
+		in.Out = &buf
+	}
+	in.Mech = ro.Mechanism
+	in.Profile = ro.Profile
+	in.StepLimit = ro.StepLimit
+
+	// Apply global overrides after initialization: Run initializes
+	// globals itself, so we pre-validate names here and patch the
+	// initializer values.
+	if len(ro.Overrides) > 0 {
+		if err := overrideGlobals(c, ro.Overrides); err != nil {
+			return nil, err
+		}
+		defer restoreGlobals(c)
+	}
+
+	start := time.Now()
+	val, err := in.Run()
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Config:   c.Opts.Config,
+		Value:    val.String(),
+		Output:   buf.String(),
+		Counters: in.Counters,
+		Stats:    c.Stats(),
+		Invoked:  in.InvokedVersions(),
+		Wall:     wall,
+	}, nil
+}
+
+// overrideGlobals temporarily swaps the compiled initializers of the
+// named globals for integer constants.
+var savedInits = map[*opt.Compiled]map[int]ir.Node{}
+
+func overrideGlobals(c *opt.Compiled, over map[string]int64) error {
+	saved := map[int]ir.Node{}
+	for name, val := range over {
+		idx, ok := c.Prog.GlobalIdx[name]
+		if !ok {
+			return fmt.Errorf("driver: override of unknown global %q", name)
+		}
+		saved[idx] = c.GlobalInits[idx]
+		c.GlobalInits[idx] = &ir.Const{Kind: ir.KInt, Int: val}
+	}
+	savedInits[c] = saved
+	return nil
+}
+
+func restoreGlobals(c *opt.Compiled) {
+	for idx, n := range savedInits[c] {
+		c.GlobalInits[idx] = n
+	}
+	delete(savedInits, c)
+}
+
+// CollectProfile compiles the program under Base with instrumentation
+// and runs it on the training input, returning the weighted call graph
+// (the paper gathers profiles the same way: an instrumented run of the
+// unspecialized system, §3.7.2).
+func (p *Pipeline) CollectProfile(ro RunOptions) (*profile.CallGraph, error) {
+	c, err := opt.Compile(p.Prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		return nil, err
+	}
+	cg := profile.NewCallGraph(p.Prog)
+	ro.Profile = cg
+	if _, err := Execute(c, ro); err != nil {
+		return nil, err
+	}
+	return cg, nil
+}
+
+// ConfigOptions describes one full configuration run.
+type ConfigOptions struct {
+	Config opt.Config
+	// Train holds the training-input overrides for Selective's profile
+	// run; Test the measurement input.
+	Train map[string]int64
+	Test  map[string]int64
+
+	SpecParams specialize.Params
+	OptExtra   func(*opt.Options) // optional tweaks (inlining ablation, lazy, ...)
+	RunExtra   func(*RunOptions)  // optional tweaks (mechanism, step limit)
+}
+
+// RunConfig executes the complete pipeline for one configuration:
+// for Selective it first collects a profile on the training input and
+// runs the specialization algorithm; then it compiles and measures on
+// the test input.
+func (p *Pipeline) RunConfig(co ConfigOptions) (*Result, error) {
+	oo := opt.Options{Config: co.Config}
+	if co.Config == opt.CustMM {
+		oo.Lazy = true
+	}
+	if co.Config == opt.Selective {
+		ro := RunOptions{Overrides: co.Train, StepLimit: 0}
+		if co.RunExtra != nil {
+			co.RunExtra(&ro)
+		}
+		ro.Mechanism = interp.MechPIC
+		cg, err := p.CollectProfile(ro)
+		if err != nil {
+			return nil, fmt.Errorf("profile run: %w", err)
+		}
+		res := specialize.Run(p.Prog, cg, co.SpecParams)
+		oo.Specializations = res.Specializations
+	}
+	if co.OptExtra != nil {
+		co.OptExtra(&oo)
+	}
+	c, err := opt.Compile(p.Prog, oo)
+	if err != nil {
+		return nil, err
+	}
+	ro := RunOptions{Overrides: co.Test}
+	if co.RunExtra != nil {
+		co.RunExtra(&ro)
+	}
+	return Execute(c, ro)
+}

@@ -1,0 +1,84 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"selspec/internal/opt"
+	"selspec/internal/specialize"
+)
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{`method f( { 1; }`, "expected"},                   // parse error
+		{`method f(x@Nope) { 1; }`, "unknown specializer"}, // hierarchy error
+		{`method f() { zzz; }`, "undefined variable"},      // lowering error
+	}
+	for _, c := range cases {
+		_, err := Load(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Load(%q) err = %v, want %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLoad on bad source did not panic")
+		}
+	}()
+	MustLoad(`broken(`)
+}
+
+func TestRunConfigProfileRunFails(t *testing.T) {
+	// The training run aborts: RunConfig must surface the error with
+	// context rather than compiling with a partial profile.
+	p := MustLoad(`
+var crash := 1;
+method main() { if crash == 1 { abort("training boom"); } 0; }
+`)
+	_, err := p.RunConfig(ConfigOptions{
+		Config: opt.Selective,
+		Train:  map[string]int64{"crash": 1},
+		Test:   map[string]int64{"crash": 0},
+	})
+	if err == nil || !strings.Contains(err.Error(), "profile run") || !strings.Contains(err.Error(), "training boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunConfigSucceedsWhenOnlyTestInputDiffers(t *testing.T) {
+	p := MustLoad(`
+var crash := 1;
+method main() { if crash == 1 { abort("boom"); } 42; }
+`)
+	res, err := p.RunConfig(ConfigOptions{
+		Config:     opt.Selective,
+		Train:      map[string]int64{"crash": 0},
+		Test:       map[string]int64{"crash": 0},
+		SpecParams: specialize.Params{Threshold: -1},
+	})
+	if err != nil || res.Value != "42" {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestExecuteRuntimeErrorSurfaced(t *testing.T) {
+	p := MustLoad(`method main() { abort("kaput"); }`)
+	c, err := opt.Compile(p.Prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Execute(c, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectProfileOnErroringProgram(t *testing.T) {
+	p := MustLoad(`method main() { abort("nope"); }`)
+	if _, err := p.CollectProfile(RunOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

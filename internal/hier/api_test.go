@@ -1,0 +1,112 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct-API construction (the path programmatic clients use, as
+// opposed to Build over an AST).
+func TestDirectAPIConstruction(t *testing.T) {
+	h := New()
+	a, err := h.AddClass("A", nil, []Field{{Name: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.AddClass("B", []*Class{a}, []Field{{Name: "y", TypeName: "A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddMethod("f", []*Class{a}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddMethod("f", []*Class{b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ResolveFieldTypes(); err != nil {
+		t.Fatal(err)
+	}
+	h.Freeze()
+	if !h.Frozen() {
+		t.Fatal("not frozen")
+	}
+	if b.Fields[1].DeclType != a {
+		t.Fatal("field type not resolved")
+	}
+	g, ok := h.GF("f", 1)
+	if !ok || len(g.Methods) != 2 {
+		t.Fatalf("GF f/1: %v %d", ok, len(g.Methods))
+	}
+	m, derr := h.Lookup(g, b)
+	if derr != nil || m.Specs[0] != b {
+		t.Fatalf("Lookup(B) = %v, %v", m, derr)
+	}
+	if h.ConeSet(a).Len() != 2 {
+		t.Fatalf("cone(A) = %v", h.ConeSet(a))
+	}
+	keys := h.SortedGFKeys()
+	if len(keys) != 1 || keys[0] != "f/1" {
+		t.Fatalf("SortedGFKeys = %v", keys)
+	}
+}
+
+func TestResolveFieldTypesUnknown(t *testing.T) {
+	h := New()
+	if _, err := h.AddClass("A", nil, []Field{{Name: "x", TypeName: "Missing"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ResolveFieldTypes(); err == nil || !strings.Contains(err.Error(), "unknown declared type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPreFreezePanics(t *testing.T) {
+	h := New()
+	a, _ := h.AddClass("A", nil, nil)
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic before Freeze", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("Cone", func() { _ = a.Cone() })
+	expectPanic("AllClasses", func() { _ = h.AllClasses() })
+	m, _ := h.AddMethod("f", []*Class{a}, nil)
+	expectPanic("ApplicableClasses", func() { _ = h.ApplicableClasses(m) })
+	expectPanic("Builtin unknown", func() { _ = h.Builtin("NoSuchBuiltin") })
+}
+
+func TestLookupArityMismatchPanics(t *testing.T) {
+	h := New()
+	a, _ := h.AddClass("A", nil, nil)
+	h.AddMethod("f", []*Class{a, a}, nil)
+	h.Freeze()
+	g, _ := h.GF("f", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup with wrong arity did not panic")
+		}
+	}()
+	h.Lookup(g, a)
+}
+
+func TestSpecializesOn(t *testing.T) {
+	h := New()
+	a, _ := h.AddClass("A", nil, nil)
+	m, _ := h.AddMethod("f", []*Class{a, h.Any()}, nil)
+	h.Freeze()
+	if !m.SpecializesOn(0, h) || m.SpecializesOn(1, h) {
+		t.Fatal("SpecializesOn wrong")
+	}
+	g := m.GF
+	if !g.DispatchesOn(0) || g.DispatchesOn(1) || g.DispatchesOn(99) {
+		t.Fatal("DispatchesOn wrong")
+	}
+	if g.Key() != "f/2" || GFKey("f", 2) != "f/2" {
+		t.Fatal("keys wrong")
+	}
+}

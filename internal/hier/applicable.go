@@ -1,0 +1,160 @@
+package hier
+
+import "selspec/internal/bits"
+
+// ApplicableClasses is the paper's ApplicableClasses[meth]: "the tuple
+// of the set of classes for each formal argument for which the method
+// meth could be invoked (excluding classes that bind to overriding
+// methods)".
+//
+// For singly-dispatched generic functions this is straightforward. For
+// multi-methods we compute the exact projection of the set of concrete
+// dispatch tuples when the product of specializer cones over the
+// dispatched positions is small enough (productLimit), and fall back to
+// a conservative per-position approximation otherwise — the fallback
+// under-approximates, which is safe here because the runtime always
+// retains a fully general fallback version (see internal/opt).
+//
+// The result is memoized; Freeze must have been called.
+func (h *Hierarchy) ApplicableClasses(m *Method) Tuple {
+	t, _ := h.ApplicableClassesExact(m)
+	return t
+}
+
+// ApplicableClassesExact is ApplicableClasses plus a flag reporting
+// whether the result is exact (true) or the conservative per-position
+// fallback (false). Clients that use the tuple as analysis truth for a
+// method's general version must fall back to GeneralTuple when exact is
+// false.
+func (h *Hierarchy) ApplicableClassesExact(m *Method) (Tuple, bool) {
+	if !h.frozen {
+		panic("hier: ApplicableClasses before Freeze")
+	}
+	if t, ok := h.applicableMemo[m]; ok {
+		return t, h.applicableExact[m]
+	}
+	t, exact := h.computeApplicable(m)
+	h.applicableMemo[m] = t
+	if h.applicableExact == nil {
+		h.applicableExact = map[*Method]bool{}
+	}
+	h.applicableExact[m] = exact
+	return t, exact
+}
+
+// productLimit bounds the number of concrete class tuples enumerated by
+// the exact ApplicableClasses computation.
+const productLimit = 1 << 20
+
+func (h *Hierarchy) computeApplicable(m *Method) (Tuple, bool) {
+	g := m.GF
+	dpos := g.DispatchedPositions()
+
+	// Start with cones of the specializers. Undispatched positions are
+	// final: no method constrains them, so the cone (all classes when
+	// the specializer is Any) is exact.
+	out := make(Tuple, g.Arity)
+	for i, s := range m.Specs {
+		out[i] = s.Cone().Clone()
+	}
+	if len(dpos) == 0 {
+		return out, true
+	}
+
+	// Exact product enumeration. For singly-dispatched generic
+	// functions this costs one lookup per class in the specializer's
+	// cone; it also correctly excludes classes whose lookup is
+	// ambiguous (possible under multiple inheritance), which a
+	// cone-minus-overriders shortcut would keep.
+	size := 1
+	for _, p := range dpos {
+		size *= out[p].Len()
+		if size > productLimit {
+			return h.approximateApplicable(m, out, dpos), false
+		}
+	}
+	return h.exactApplicable(m, out, dpos), true
+}
+
+// exactApplicable enumerates every concrete class tuple in the product
+// of the specializer cones over the dispatched positions, asks Lookup
+// which method wins, and projects the winning tuples of m onto each
+// position.
+func (h *Hierarchy) exactApplicable(m *Method, base Tuple, dpos []int) Tuple {
+	g := m.GF
+	proj := make([]*bits.Set, len(dpos))
+	for i := range dpos {
+		proj[i] = bits.New(h.NumClasses())
+	}
+	elems := make([][]int, len(dpos))
+	for i, p := range dpos {
+		elems[i] = base[p].Elems()
+	}
+
+	classes := make([]*Class, g.Arity)
+	for i := range classes {
+		classes[i] = h.any // undispatched positions never matter
+	}
+
+	idx := make([]int, len(dpos))
+	for {
+		for i, p := range dpos {
+			classes[p] = h.classes[elems[i][idx[i]]]
+		}
+		// Bypass the lookup cache: enumeration may visit up to
+		// productLimit tuples and caching them all would waste memory.
+		if won, err := h.lookupSlow(g, classes); err == nil && won == m {
+			for i, p := range dpos {
+				proj[i].Add(classes[p].ID)
+			}
+		}
+		// Advance the odometer.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(elems[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	out := base.Clone()
+	for i, p := range dpos {
+		out[p] = proj[i]
+	}
+	return out
+}
+
+// approximateApplicable is the conservative per-position fallback for
+// very large products: position p keeps the classes of cone(spec_p(m))
+// not covered by any strictly overriding method at p. It may
+// under-approximate the true projection for partially-overlapping
+// multi-methods, which only makes specializations narrower (safe).
+func (h *Hierarchy) approximateApplicable(m *Method, base Tuple, dpos []int) Tuple {
+	out := base.Clone()
+	for _, p := range dpos {
+		for _, n := range m.GF.Methods {
+			if n.Overrides(m) && n.Specs[p] != m.Specs[p] {
+				out[p].RemoveAll(n.Specs[p].Cone())
+			}
+		}
+	}
+	return out
+}
+
+// GeneralTuple returns the always-safe tuple for a method: the cones of
+// its specializers. Every invocation that dispatches to m lies inside
+// this product, so a version compiled against it is valid for any
+// caller. (ApplicableClasses ⊆ GeneralTuple componentwise.)
+func (h *Hierarchy) GeneralTuple(m *Method) Tuple {
+	out := make(Tuple, len(m.Specs))
+	for i, s := range m.Specs {
+		out[i] = s.Cone().Clone()
+	}
+	return out
+}

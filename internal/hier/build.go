@@ -1,0 +1,74 @@
+package hier
+
+import (
+	"fmt"
+
+	"selspec/internal/lang"
+)
+
+// Build constructs a frozen Hierarchy from a parsed program. Class
+// declarations must precede their use as parents or specializers
+// (Mini-Cecil is declaration-ordered, like the paper's Cecil modules).
+func Build(prog *lang.Program) (*Hierarchy, error) {
+	h := New()
+	for _, cd := range prog.Classes {
+		var parents []*Class
+		for _, pn := range cd.Parents {
+			p, ok := h.byName[pn]
+			if !ok {
+				return nil, fmt.Errorf("%s: unknown parent class %q of %s", cd.Pos, pn, cd.Name)
+			}
+			parents = append(parents, p)
+		}
+		var fields []Field
+		for _, fd := range cd.Fields {
+			fields = append(fields, Field{Name: fd.Name, TypeName: fd.Type, Init: fd.Init})
+		}
+		if _, err := h.AddClass(cd.Name, parents, fields); err != nil {
+			return nil, fmt.Errorf("%s: %v", cd.Pos, err)
+		}
+	}
+	if err := h.ResolveFieldTypes(); err != nil {
+		return nil, err
+	}
+	for _, md := range prog.Methods {
+		specs := make([]*Class, len(md.Params))
+		for i, p := range md.Params {
+			if p.Spec == "" {
+				specs[i] = h.any
+				continue
+			}
+			c, ok := h.byName[p.Spec]
+			if !ok {
+				return nil, fmt.Errorf("%s: unknown specializer class %q in method %s", md.Pos, p.Spec, md.Name)
+			}
+			specs[i] = c
+		}
+		if _, err := h.AddMethod(md.Name, specs, md); err != nil {
+			return nil, fmt.Errorf("%s: %v", md.Pos, err)
+		}
+	}
+	h.Freeze()
+	return h, nil
+}
+
+// ResolveFieldTypes resolves declared field type names to classes.
+// Field declarations may reference classes declared later (including
+// the declaring class itself), so this runs after all classes exist.
+func (h *Hierarchy) ResolveFieldTypes() error {
+	for _, c := range h.classes {
+		for i := range c.Fields {
+			f := &c.Fields[i]
+			if f.TypeName == "" {
+				continue
+			}
+			t, ok := h.byName[f.TypeName]
+			if !ok {
+				return fmt.Errorf("hier: field %s.%s has unknown declared type %q",
+					f.Owner.Name, f.Name, f.TypeName)
+			}
+			f.DeclType = t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package hier models the class hierarchy and generic functions of a
+// Mini-Cecil program: the multiple-inheritance class DAG, multi-method
+// specificity and lookup, cones (a class plus all its descendants), and
+// the ApplicableClasses computation that the PLDI'95 selective
+// specialization algorithm is built on.
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"selspec/internal/bits"
+	"selspec/internal/lang"
+)
+
+// Names of the built-in classes. They are real classes in the
+// hierarchy, so user methods can dispatch on them ("method fib(n@Int)").
+const (
+	AnyName     = "Any"
+	IntName     = "Int"
+	BoolName    = "Bool"
+	StringName  = "String"
+	NilName     = "Nil"
+	ArrayName   = "Array"
+	ClosureName = "Closure"
+)
+
+var builtinNames = []string{AnyName, IntName, BoolName, StringName, NilName, ArrayName, ClosureName}
+
+// Field is one instance field (slot) of a class, with the class that
+// declared it, its optional declared type, and its optional default
+// initializer expression. When DeclType is non-nil the runtime rejects
+// stores of non-conforming values (including nil), which is what lets
+// class hierarchy analysis trust the cone of the declared type for
+// field reads.
+type Field struct {
+	Name     string
+	TypeName string // "" = untyped
+	DeclType *Class // resolved by Build/ResolveFieldTypes; nil = untyped
+	Init     lang.Expr
+	Owner    *Class
+}
+
+// Class is one class in the hierarchy.
+type Class struct {
+	ID      int
+	Name    string
+	Parents []*Class
+
+	// Fields is the flattened slot layout: inherited fields first (in
+	// parent declaration order, deduplicated), then own fields.
+	Fields    []Field
+	OwnFields []Field
+
+	ancestors *bits.Set // self + transitive parents
+	cone      *bits.Set // self + transitive children; valid after Freeze
+}
+
+func (c *Class) String() string { return c.Name }
+
+// FieldIndex returns the slot index of the named field, or -1.
+func (c *Class) FieldIndex(name string) int {
+	for i, f := range c.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsSubclassOf reports whether c ⊑ d (reflexive).
+func (c *Class) IsSubclassOf(d *Class) bool { return c.ancestors.Has(d.ID) }
+
+// Ancestors returns the set of ancestor class IDs including c itself.
+func (c *Class) Ancestors() *bits.Set { return c.ancestors }
+
+// Cone returns the set of class IDs of c and all its descendants.
+// Valid only after Hierarchy.Freeze.
+func (c *Class) Cone() *bits.Set {
+	if c.cone == nil {
+		panic("hier: Cone called before Freeze")
+	}
+	return c.cone
+}
+
+// Method is one multi-method: an implementation attached to a generic
+// function with one specializer class per formal position.
+type Method struct {
+	ID    int // global, dense; index into Hierarchy.Methods()
+	GF    *GF
+	Specs []*Class // specializer per position; Any for undispatched
+	Decl  *lang.MethodDecl
+}
+
+// Name returns a human-readable identity like "do(@ListSet,@Any)".
+func (m *Method) Name() string {
+	var b strings.Builder
+	b.WriteString(m.GF.Name)
+	b.WriteByte('(')
+	for i, s := range m.Specs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('@')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (m *Method) String() string { return m.Name() }
+
+// SpecializesOn reports whether this method dispatches on position i
+// (i.e. its specializer there is not Any).
+func (m *Method) SpecializesOn(i int, h *Hierarchy) bool { return m.Specs[i] != h.Any() }
+
+// PointwiseLE reports whether m's specializer tuple is pointwise ⊑ n's
+// (m at least as specific as n at every position).
+func (m *Method) PointwiseLE(n *Method) bool {
+	for i := range m.Specs {
+		if !m.Specs[i].IsSubclassOf(n.Specs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overrides reports whether m strictly overrides n: pointwise ⊑ and
+// not identical tuples.
+func (m *Method) Overrides(n *Method) bool {
+	if m == n || !m.PointwiseLE(n) {
+		return false
+	}
+	for i := range m.Specs {
+		if m.Specs[i] != n.Specs[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// GF is a generic function: all methods sharing a name and arity.
+type GF struct {
+	Name    string
+	Arity   int
+	Methods []*Method
+
+	dispatched  []bool // positions where some method specializes
+	lookupCache map[string]*Method
+	cacheErr    map[string]*DispatchError
+}
+
+// Key returns the map key "name/arity" identifying the GF.
+func (g *GF) Key() string { return GFKey(g.Name, g.Arity) }
+
+// GFKey builds the canonical generic-function key.
+func GFKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
+
+// DispatchedPositions returns the argument positions this generic
+// function actually dispatches on.
+func (g *GF) DispatchedPositions() []int {
+	var out []int
+	for i, d := range g.dispatched {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DispatchesOn reports whether position i is a dispatched position.
+func (g *GF) DispatchesOn(i int) bool {
+	return i < len(g.dispatched) && g.dispatched[i]
+}
+
+// DispatchError reports a failed lookup.
+type DispatchError struct {
+	GF        *GF
+	Classes   []*Class
+	Ambiguous bool // false = message not understood
+}
+
+func (e *DispatchError) Error() string {
+	names := make([]string, len(e.Classes))
+	for i, c := range e.Classes {
+		names[i] = c.Name
+	}
+	what := "message not understood"
+	if e.Ambiguous {
+		what = "message ambiguous"
+	}
+	return fmt.Sprintf("%s: %s(%s)", what, e.GF.Name, strings.Join(names, ", "))
+}
+
+// Hierarchy is the full class hierarchy and method set of a program.
+// Build one with New, add classes/methods, then Freeze before using
+// cones, lookup, or ApplicableClasses.
+type Hierarchy struct {
+	classes []*Class
+	byName  map[string]*Class
+	gfs     map[string]*GF
+	gfList  []*GF
+	methods []*Method
+	frozen  bool
+
+	any        *Class
+	allClasses *bits.Set
+
+	applicableMemo  map[*Method]Tuple
+	applicableExact map[*Method]bool
+}
+
+// New returns a hierarchy pre-populated with the built-in classes.
+func New() *Hierarchy {
+	h := &Hierarchy{
+		byName:         map[string]*Class{},
+		gfs:            map[string]*GF{},
+		applicableMemo: map[*Method]Tuple{},
+	}
+	for _, name := range builtinNames {
+		var parents []*Class
+		if name != AnyName {
+			parents = []*Class{h.any}
+		}
+		c, err := h.AddClass(name, parents, nil)
+		if err != nil {
+			panic(err) // cannot happen: fixed names
+		}
+		if name == AnyName {
+			h.any = c
+		}
+	}
+	return h
+}
+
+// Any returns the root class.
+func (h *Hierarchy) Any() *Class { return h.any }
+
+// Builtin returns the named builtin class; panics on unknown names
+// (programming error, not user error).
+func (h *Hierarchy) Builtin(name string) *Class {
+	c := h.byName[name]
+	if c == nil {
+		panic("hier: unknown builtin " + name)
+	}
+	return c
+}
+
+// Class looks up a class by name.
+func (h *Hierarchy) Class(name string) (*Class, bool) {
+	c, ok := h.byName[name]
+	return c, ok
+}
+
+// Classes returns all classes, indexed by ID.
+func (h *Hierarchy) Classes() []*Class { return h.classes }
+
+// NumClasses returns the number of classes.
+func (h *Hierarchy) NumClasses() int { return len(h.classes) }
+
+// AllClasses returns the set of every class ID. Valid after Freeze.
+func (h *Hierarchy) AllClasses() *bits.Set {
+	if h.allClasses == nil {
+		panic("hier: AllClasses called before Freeze")
+	}
+	return h.allClasses
+}
+
+// Methods returns all methods, indexed by ID.
+func (h *Hierarchy) Methods() []*Method { return h.methods }
+
+// GFs returns all generic functions in definition order.
+func (h *Hierarchy) GFs() []*GF { return h.gfList }
+
+// GF returns the generic function for name/arity, if any.
+func (h *Hierarchy) GF(name string, arity int) (*GF, bool) {
+	g, ok := h.gfs[GFKey(name, arity)]
+	return g, ok
+}
+
+// AddClass declares a new class. Parents defaults to [Any] when empty.
+// Field layouts are flattened immediately, so parents must be declared
+// before children (the program loader guarantees this by processing
+// declarations in order; forward references are a load error).
+func (h *Hierarchy) AddClass(name string, parents []*Class, ownFields []Field) (*Class, error) {
+	if h.frozen {
+		return nil, fmt.Errorf("hier: AddClass(%s) after Freeze", name)
+	}
+	if _, dup := h.byName[name]; dup {
+		return nil, fmt.Errorf("hier: class %s already defined", name)
+	}
+	if len(parents) == 0 && h.any != nil {
+		parents = []*Class{h.any}
+	}
+	c := &Class{ID: len(h.classes), Name: name, Parents: parents}
+
+	c.ancestors = bits.New(len(h.classes) + 1)
+	c.ancestors.Add(c.ID)
+	for _, p := range parents {
+		c.ancestors.AddAll(p.ancestors)
+	}
+
+	// Flatten fields: inherited (dedup by name, first wins must be
+	// unique) then own.
+	seen := map[string]*Class{}
+	for _, p := range parents {
+		for _, f := range p.Fields {
+			if prev, dup := seen[f.Name]; dup {
+				if prev != f.Owner {
+					return nil, fmt.Errorf("hier: class %s inherits conflicting field %q from %s and %s",
+						name, f.Name, prev.Name, f.Owner.Name)
+				}
+				continue // diamond: same declaration, keep one copy
+			}
+			seen[f.Name] = f.Owner
+			c.Fields = append(c.Fields, f)
+		}
+	}
+	for _, f := range ownFields {
+		if _, dup := seen[f.Name]; dup {
+			return nil, fmt.Errorf("hier: class %s redeclares field %q", name, f.Name)
+		}
+		f.Owner = c
+		seen[f.Name] = c
+		c.Fields = append(c.Fields, f)
+		c.OwnFields = append(c.OwnFields, f)
+	}
+
+	h.classes = append(h.classes, c)
+	h.byName[name] = c
+	return c, nil
+}
+
+// AddMethod declares a method on the generic function name/len(specs).
+func (h *Hierarchy) AddMethod(name string, specs []*Class, decl *lang.MethodDecl) (*Method, error) {
+	if h.frozen {
+		return nil, fmt.Errorf("hier: AddMethod(%s) after Freeze", name)
+	}
+	key := GFKey(name, len(specs))
+	g := h.gfs[key]
+	if g == nil {
+		g = &GF{Name: name, Arity: len(specs), dispatched: make([]bool, len(specs))}
+		h.gfs[key] = g
+		h.gfList = append(h.gfList, g)
+	}
+	for _, existing := range g.Methods {
+		same := true
+		for i := range specs {
+			if existing.Specs[i] != specs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil, fmt.Errorf("hier: method %s already defined with the same specializers", existing.Name())
+		}
+	}
+	m := &Method{ID: len(h.methods), GF: g, Specs: specs, Decl: decl}
+	g.Methods = append(g.Methods, m)
+	h.methods = append(h.methods, m)
+	for i, s := range specs {
+		if s != h.any {
+			g.dispatched[i] = true
+		}
+	}
+	return m, nil
+}
+
+// Freeze finalizes the hierarchy: computes cones and enables lookup
+// and ApplicableClasses.
+func (h *Hierarchy) Freeze() {
+	if h.frozen {
+		return
+	}
+	h.frozen = true
+	h.allClasses = bits.New(len(h.classes))
+	for _, c := range h.classes {
+		h.allClasses.Add(c.ID)
+		c.cone = bits.New(len(h.classes))
+	}
+	// cone(a) = {c : a ∈ ancestors(c)}.
+	for _, c := range h.classes {
+		c.ancestors.ForEach(func(aid int) bool {
+			h.classes[aid].cone.Add(c.ID)
+			return true
+		})
+	}
+	for _, g := range h.gfList {
+		g.lookupCache = map[string]*Method{}
+		g.cacheErr = map[string]*DispatchError{}
+	}
+}
+
+// Frozen reports whether Freeze has run.
+func (h *Hierarchy) Frozen() bool { return h.frozen }
+
+// ConeSet returns the cone of a class as a set, and the full class set
+// for Any (identical, but avoids the panic path pre-freeze misuse).
+func (h *Hierarchy) ConeSet(c *Class) *bits.Set { return c.Cone() }
+
+func classKey(classes []*Class) string {
+	var b []byte
+	for _, c := range classes {
+		b = append(b, byte(c.ID), byte(c.ID>>8))
+	}
+	return string(b)
+}
+
+// Lookup performs multi-method dispatch for the given argument classes:
+// it returns the unique most-specific applicable method, or a
+// DispatchError (message not understood / ambiguous).
+func (h *Hierarchy) Lookup(g *GF, classes ...*Class) (*Method, *DispatchError) {
+	if len(classes) != g.Arity {
+		panic(fmt.Sprintf("hier: Lookup %s with %d classes", g.Key(), len(classes)))
+	}
+	var key string
+	if h.frozen {
+		key = classKey(classes)
+		if m, ok := g.lookupCache[key]; ok {
+			return m, nil
+		}
+		if e, ok := g.cacheErr[key]; ok {
+			return nil, e
+		}
+	}
+	m, err := h.lookupSlow(g, classes)
+	if h.frozen {
+		if err != nil {
+			g.cacheErr[key] = err
+		} else {
+			g.lookupCache[key] = m
+		}
+	}
+	return m, err
+}
+
+func (h *Hierarchy) lookupSlow(g *GF, classes []*Class) (*Method, *DispatchError) {
+	var applicable []*Method
+outer:
+	for _, m := range g.Methods {
+		for i, s := range m.Specs {
+			if !classes[i].IsSubclassOf(s) {
+				continue outer
+			}
+		}
+		applicable = append(applicable, m)
+	}
+	if len(applicable) == 0 {
+		return nil, &DispatchError{GF: g, Classes: append([]*Class(nil), classes...)}
+	}
+	// Most specific: the unique applicable method pointwise ⊑ all others.
+	best := applicable[0]
+	for _, m := range applicable[1:] {
+		if m.PointwiseLE(best) {
+			best = m
+		}
+	}
+	for _, m := range applicable {
+		if !best.PointwiseLE(m) {
+			return nil, &DispatchError{GF: g, Classes: append([]*Class(nil), classes...), Ambiguous: true}
+		}
+	}
+	return best, nil
+}
+
+// SortedGFKeys returns GF keys in sorted order (deterministic output
+// for reports and tests).
+func (h *Hierarchy) SortedGFKeys() []string {
+	keys := make([]string, 0, len(h.gfs))
+	for k := range h.gfs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,533 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+
+	"selspec/internal/bits"
+	"selspec/internal/lang"
+)
+
+// paperHierarchy builds the example of Figure 2 of the paper: ten
+// classes A..J with
+//
+//	A → {B, C, D, G};  B → {E};  E → {H, I};  C → {F};  G → {J}
+//
+// method m() defined on A, E and G; m2() on A and B; m3(arg2) and
+// m4(arg2) on A only (second argument unspecialized).
+const paperSrc = `
+class A
+class B isa A
+class C isa A
+class D isa A
+class G isa A
+class E isa B
+class F isa C
+class H isa E
+class I isa E
+class J isa G
+
+method m(self@A) { 1; }
+method m(self@E) { 2; }
+method m(self@G) { 3; }
+method m2(self@A) { 4; }
+method m2(self@B) { 5; }
+method m3(self@A, arg2@A) { self.m4(arg2); }
+method m4(self@A, arg2@A) { self.m(); arg2.m2(); }
+`
+
+func paperHier(t *testing.T) *Hierarchy {
+	t.Helper()
+	prog, err := lang.Parse(paperSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func classSet(t *testing.T, h *Hierarchy, names ...string) *bits.Set {
+	t.Helper()
+	s := bits.New(h.NumClasses())
+	for _, n := range names {
+		c, ok := h.Class(n)
+		if !ok {
+			t.Fatalf("no class %s", n)
+		}
+		s.Add(c.ID)
+	}
+	return s
+}
+
+func mustClass(t *testing.T, h *Hierarchy, name string) *Class {
+	t.Helper()
+	c, ok := h.Class(name)
+	if !ok {
+		t.Fatalf("no class %s", name)
+	}
+	return c
+}
+
+// findMethod locates a method by GF name/arity and specializer names.
+func findMethod(t *testing.T, h *Hierarchy, name string, arity int, specs ...string) *Method {
+	t.Helper()
+	g, ok := h.GF(name, arity)
+	if !ok {
+		t.Fatalf("no generic function %s/%d", name, arity)
+	}
+outer:
+	for _, m := range g.Methods {
+		for i, s := range specs {
+			if m.Specs[i].Name != s {
+				continue outer
+			}
+		}
+		return m
+	}
+	t.Fatalf("no method %s with specs %v", name, specs)
+	return nil
+}
+
+func TestBuiltinsPresent(t *testing.T) {
+	h := New()
+	h.Freeze()
+	for _, n := range []string{"Any", "Int", "Bool", "String", "Nil", "Array", "Closure"} {
+		c, ok := h.Class(n)
+		if !ok {
+			t.Fatalf("builtin %s missing", n)
+		}
+		if n != "Any" && !c.IsSubclassOf(h.Any()) {
+			t.Errorf("%s not a subclass of Any", n)
+		}
+	}
+	if h.Any().Cone().Len() != h.NumClasses() {
+		t.Errorf("cone(Any) = %d classes, want %d", h.Any().Cone().Len(), h.NumClasses())
+	}
+}
+
+func TestSubclassingAndCones(t *testing.T) {
+	h := paperHier(t)
+	a, b, e, hh := mustClass(t, h, "A"), mustClass(t, h, "B"), mustClass(t, h, "E"), mustClass(t, h, "H")
+
+	if !hh.IsSubclassOf(e) || !hh.IsSubclassOf(b) || !hh.IsSubclassOf(a) || !hh.IsSubclassOf(h.Any()) {
+		t.Error("H should be under E, B, A, Any")
+	}
+	if b.IsSubclassOf(e) {
+		t.Error("B is not under E")
+	}
+	if !b.IsSubclassOf(b) {
+		t.Error("subclassing must be reflexive")
+	}
+
+	if got, want := b.Cone(), classSet(t, h, "B", "E", "H", "I"); !got.Equal(want) {
+		t.Errorf("cone(B) = %v, want %v", got, want)
+	}
+	if got, want := mustClass(t, h, "G").Cone(), classSet(t, h, "G", "J"); !got.Equal(want) {
+		t.Errorf("cone(G) = %v, want %v", got, want)
+	}
+	wantA := classSet(t, h, "A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+	if got := a.Cone(); !got.Equal(wantA) {
+		t.Errorf("cone(A) = %v, want %v", got, wantA)
+	}
+}
+
+func TestLookupSingleDispatch(t *testing.T) {
+	h := paperHier(t)
+	g, _ := h.GF("m", 1)
+
+	cases := []struct{ class, wantSpec string }{
+		{"A", "A"}, {"B", "A"}, {"C", "A"}, {"D", "A"}, {"F", "A"},
+		{"E", "E"}, {"H", "E"}, {"I", "E"},
+		{"G", "G"}, {"J", "G"},
+	}
+	for _, c := range cases {
+		m, err := h.Lookup(g, mustClass(t, h, c.class))
+		if err != nil {
+			t.Fatalf("Lookup m(%s): %v", c.class, err)
+		}
+		if m.Specs[0].Name != c.wantSpec {
+			t.Errorf("Lookup m(%s) = %s, want @%s", c.class, m.Name(), c.wantSpec)
+		}
+	}
+
+	// A class outside cone(A) does not understand m.
+	if _, err := h.Lookup(g, h.Builtin(IntName)); err == nil || err.Ambiguous {
+		t.Errorf("m(Int) should be 'not understood', got %v", err)
+	} else if !strings.Contains(err.Error(), "not understood") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+func TestLookupCacheConsistency(t *testing.T) {
+	h := paperHier(t)
+	g, _ := h.GF("m2", 1)
+	e := mustClass(t, h, "E")
+	m1, err1 := h.Lookup(g, e)
+	m2, err2 := h.Lookup(g, e) // cached path
+	if err1 != nil || err2 != nil || m1 != m2 {
+		t.Fatalf("cache inconsistency: %v %v %v %v", m1, err1, m2, err2)
+	}
+	if m1.Specs[0].Name != "B" {
+		t.Errorf("m2(E) = %s", m1.Name())
+	}
+}
+
+func TestLookupMultiMethod(t *testing.T) {
+	src := `
+class Shape
+class Circle isa Shape
+class Square isa Shape
+method collide(a@Shape, b@Shape) { 0; }
+method collide(a@Circle, b@Circle) { 1; }
+method collide(a@Circle, b@Square) { 2; }
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.GF("collide", 2)
+	ci, sq, sh := mustClass(t, h, "Circle"), mustClass(t, h, "Square"), mustClass(t, h, "Shape")
+
+	m, err2 := h.Lookup(g, ci, ci)
+	if err2 != nil || m.Specs[1].Name != "Circle" {
+		t.Errorf("collide(Circle,Circle) = %v, %v", m, err2)
+	}
+	m, err2 = h.Lookup(g, ci, sq)
+	if err2 != nil || m.Specs[1].Name != "Square" {
+		t.Errorf("collide(Circle,Square) = %v, %v", m, err2)
+	}
+	m, err2 = h.Lookup(g, sq, ci)
+	if err2 != nil || m.Specs[0].Name != "Shape" {
+		t.Errorf("collide(Square,Circle) = %v, %v", m, err2)
+	}
+	m, err2 = h.Lookup(g, sh, sh)
+	if err2 != nil || m.Specs[0].Name != "Shape" {
+		t.Errorf("collide(Shape,Shape) = %v, %v", m, err2)
+	}
+}
+
+func TestLookupAmbiguous(t *testing.T) {
+	src := `
+class S
+class C1 isa S
+class C2 isa S
+class D isa C1, C2
+method f(x@C1) { 1; }
+method f(x@C2) { 2; }
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.GF("f", 1)
+	_, derr := h.Lookup(g, mustClass(t, h, "D"))
+	if derr == nil || !derr.Ambiguous {
+		t.Fatalf("f(D) should be ambiguous, got %v", derr)
+	}
+	// Cross-product ambiguity for multi-methods.
+	src2 := `
+class S
+class C1 isa S
+class C2 isa S
+method g(x@C1, y@S) { 1; }
+method g(x@S, y@C2) { 2; }
+`
+	h2, err := Build(lang.MustParse(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, _ := h2.GF("g", 2)
+	_, derr = h2.Lookup(gg, mustClass(t, h2, "C1"), mustClass(t, h2, "C2"))
+	if derr == nil || !derr.Ambiguous {
+		t.Fatalf("g(C1,C2) should be ambiguous, got %v", derr)
+	}
+}
+
+func TestApplicableClassesPaperExample(t *testing.T) {
+	h := paperHier(t)
+
+	// The paper: ApplicableClasses[E::m] = <{E,H,I}>.
+	em := findMethod(t, h, "m", 1, "E")
+	if got, want := h.ApplicableClasses(em)[0], classSet(t, h, "E", "H", "I"); !got.Equal(want) {
+		t.Errorf("Applicable[E::m] = %v, want %v", got, want)
+	}
+	am := findMethod(t, h, "m", 1, "A")
+	if got, want := h.ApplicableClasses(am)[0], classSet(t, h, "A", "B", "C", "D", "F"); !got.Equal(want) {
+		t.Errorf("Applicable[A::m] = %v, want %v", got, want)
+	}
+	gm := findMethod(t, h, "m", 1, "G")
+	if got, want := h.ApplicableClasses(gm)[0], classSet(t, h, "G", "J"); !got.Equal(want) {
+		t.Errorf("Applicable[G::m] = %v, want %v", got, want)
+	}
+	// The paper: ApplicableClasses[B::m2] = <{B,E,H,I}>.
+	bm2 := findMethod(t, h, "m2", 1, "B")
+	if got, want := h.ApplicableClasses(bm2)[0], classSet(t, h, "B", "E", "H", "I"); !got.Equal(want) {
+		t.Errorf("Applicable[B::m2] = %v, want %v", got, want)
+	}
+	am2 := findMethod(t, h, "m2", 1, "A")
+	if got, want := h.ApplicableClasses(am2)[0], classSet(t, h, "A", "C", "D", "F", "G", "J"); !got.Equal(want) {
+		t.Errorf("Applicable[A::m2] = %v, want %v", got, want)
+	}
+
+	// m4 is dispatched only on position 0 within cone(A); position 1 is
+	// specialized on A with no overriders, so its applicable set at
+	// position 1 is cone(A).
+	m4 := findMethod(t, h, "m4", 2, "A", "A")
+	app := h.ApplicableClasses(m4)
+	coneA := mustClass(t, h, "A").Cone()
+	if !app[0].Equal(coneA) || !app[1].Equal(coneA) {
+		t.Errorf("Applicable[A::m4] = %v, want <cone(A), cone(A)>", app.String(h))
+	}
+}
+
+func TestApplicableClassesMultiMethod(t *testing.T) {
+	// BitSet-style example from the paper's §2: overlaps is specialized
+	// on both arguments by the BitSet implementation.
+	src := `
+class Set
+class ListSet isa Set
+class HashSet isa Set
+class BitSet isa Set
+method overlaps(s1@Set, s2@Set) { 0; }
+method overlaps(s1@BitSet, s2@BitSet) { 1; }
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := findMethod(t, h, "overlaps", 2, "Set", "Set")
+	app := h.ApplicableClasses(gen)
+	allSets := classSet(t, h, "Set", "ListSet", "HashSet", "BitSet")
+	// The generic method applies whenever either argument is not a
+	// BitSet, so the per-position projection is the full Set cone on
+	// both positions (e.g. overlaps(BitSet, ListSet) → generic).
+	if !app[0].Equal(allSets) || !app[1].Equal(allSets) {
+		t.Errorf("Applicable[Set::overlaps] = %v", app.String(h))
+	}
+	bs := findMethod(t, h, "overlaps", 2, "BitSet", "BitSet")
+	appBS := h.ApplicableClasses(bs)
+	onlyBS := classSet(t, h, "BitSet")
+	if !appBS[0].Equal(onlyBS) || !appBS[1].Equal(onlyBS) {
+		t.Errorf("Applicable[BitSet::overlaps] = %v", appBS.String(h))
+	}
+}
+
+func TestApplicableContainsAllDispatchTuples(t *testing.T) {
+	// Soundness: whenever lookup(c1,..,cn) = m, each ci must be in
+	// ApplicableClasses[m][i]. Verified exhaustively on a gnarly
+	// multi-method hierarchy.
+	src := `
+class S
+class P isa S
+class Q isa S
+class R isa P, Q
+class T isa R
+method f(x@S, y@S) { 0; }
+method f(x@P, y@S) { 1; }
+method f(x@S, y@Q) { 2; }
+method f(x@P, y@Q) { 3; }
+method f(x@R, y@R) { 4; }
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.GF("f", 2)
+	for _, c1 := range h.Classes() {
+		for _, c2 := range h.Classes() {
+			m, derr := h.Lookup(g, c1, c2)
+			if derr != nil {
+				continue
+			}
+			app := h.ApplicableClasses(m)
+			if !app[0].Has(c1.ID) || !app[1].Has(c2.ID) {
+				t.Errorf("lookup f(%s,%s)=%s but Applicable %v misses it",
+					c1.Name, c2.Name, m.Name(), app.String(h))
+			}
+		}
+	}
+}
+
+func TestApplicablePartitionSingleDispatch(t *testing.T) {
+	// For singly-dispatched GFs the applicable sets of the methods
+	// partition the set of understanding classes.
+	h := paperHier(t)
+	for _, gname := range []string{"m", "m2"} {
+		g, _ := h.GF(gname, 1)
+		union := bits.New(h.NumClasses())
+		total := 0
+		for _, m := range g.Methods {
+			app := h.ApplicableClasses(m)[0]
+			if app.Intersects(union) {
+				t.Errorf("%s: applicable sets overlap", gname)
+			}
+			union.AddAll(app)
+			total += app.Len()
+		}
+		if total != union.Len() {
+			t.Errorf("%s: partition sizes disagree", gname)
+		}
+		if !union.Equal(mustClass(t, h, "A").Cone()) {
+			t.Errorf("%s: union %v != cone(A)", gname, union)
+		}
+	}
+}
+
+func TestGeneralTupleContainsApplicable(t *testing.T) {
+	h := paperHier(t)
+	for _, m := range h.Methods() {
+		app, gen := h.ApplicableClasses(m), h.GeneralTuple(m)
+		if !app.SubsetOf(gen) {
+			t.Errorf("%s: Applicable %v ⊄ General %v", m.Name(), app.String(h), gen.String(h))
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{`class A isa Missing`, "unknown parent"},
+		{`class A class A`, "already defined"},
+		{`method f(x@Nope) { 1; }`, "unknown specializer"},
+		{`method f(x@Int) { 1; } method f(y@Int) { 2; }`, "already defined with the same specializers"},
+		{`class A { field x; } class B isa A { field x; }`, "redeclares field"},
+		{`class A { field x; } class B { field x; } class C isa A, B`, "conflicting field"},
+	}
+	for _, c := range cases {
+		prog, err := lang.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = Build(prog)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Build(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestDiamondFieldOK(t *testing.T) {
+	src := `
+class A { field x := 1; }
+class B isa A
+class C isa A
+class D isa B, C
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustClass(t, h, "D")
+	if len(d.Fields) != 1 || d.Fields[0].Name != "x" {
+		t.Fatalf("diamond field layout: %+v", d.Fields)
+	}
+}
+
+func TestFieldLayoutOrder(t *testing.T) {
+	src := `
+class A { field a1 := 1; field a2 := 2; }
+class B isa A { field b1 := 3; }
+`
+	h, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustClass(t, h, "B")
+	var names []string
+	for _, f := range b.Fields {
+		names = append(names, f.Name)
+	}
+	if strings.Join(names, ",") != "a1,a2,b1" {
+		t.Fatalf("field order = %v", names)
+	}
+	if b.FieldIndex("b1") != 2 || b.FieldIndex("zz") != -1 {
+		t.Fatalf("FieldIndex wrong")
+	}
+}
+
+func TestAddAfterFreezeRejected(t *testing.T) {
+	h := New()
+	h.Freeze()
+	if _, err := h.AddClass("X", nil, nil); err == nil {
+		t.Error("AddClass after Freeze should fail")
+	}
+	if _, err := h.AddMethod("f", []*Class{h.Any()}, nil); err == nil {
+		t.Error("AddMethod after Freeze should fail")
+	}
+}
+
+func TestDispatchedPositions(t *testing.T) {
+	h := paperHier(t)
+	g, _ := h.GF("m4", 2)
+	pos := g.DispatchedPositions()
+	if len(pos) != 2 {
+		// both positions are specialized on A by m4's declaration
+		t.Fatalf("m4 dispatched positions = %v", pos)
+	}
+	src := `method u(a, b) { 1; }`
+	h2, err := Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := h2.GF("u", 2)
+	if got := g2.DispatchedPositions(); len(got) != 0 {
+		t.Fatalf("u dispatched positions = %v", got)
+	}
+}
+
+func TestMethodNameAndOverrides(t *testing.T) {
+	h := paperHier(t)
+	am := findMethod(t, h, "m", 1, "A")
+	em := findMethod(t, h, "m", 1, "E")
+	if em.Name() != "m(@E)" {
+		t.Errorf("Name = %q", em.Name())
+	}
+	if !em.Overrides(am) || am.Overrides(em) || am.Overrides(am) {
+		t.Error("override relation wrong")
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	h := paperHier(t)
+	t1 := NewTuple(classSet(t, h, "A", "B"), classSet(t, h, "C"))
+	t2 := NewTuple(classSet(t, h, "B"), classSet(t, h, "C", "D"))
+	inter := t1.Intersect(t2)
+	if !inter[0].Equal(classSet(t, h, "B")) || !inter[1].Equal(classSet(t, h, "C")) {
+		t.Errorf("Intersect = %v", inter.String(h))
+	}
+	if inter.HasEmpty() {
+		t.Error("non-empty intersection flagged empty")
+	}
+	t3 := NewTuple(classSet(t, h, "D"), classSet(t, h, "C"))
+	if !t1.Intersect(t3).HasEmpty() {
+		t.Error("disjoint first components should give empty")
+	}
+	if !inter.SubsetOf(t1) || !inter.SubsetOf(t2) {
+		t.Error("intersection not subset")
+	}
+	if !t1.Intersects(t2) || t1.Intersects(t3) {
+		t.Error("Intersects wrong")
+	}
+	a, c := mustClass(t, h, "A"), mustClass(t, h, "C")
+	if !t1.ContainsClasses([]*Class{a, c}) {
+		t.Error("ContainsClasses wrong")
+	}
+	if t1.ContainsIDs([]int{c.ID, c.ID}) {
+		t.Error("ContainsIDs wrong")
+	}
+	if t1.Size(100) != 2 {
+		t.Errorf("Size = %d", t1.Size(100))
+	}
+	if s := t1.String(h); s != "<{A B}, {C}>" {
+		t.Errorf("String = %q", s)
+	}
+	if t1.Hash() == t2.Hash() && t1.Equal(t2) {
+		t.Error("unexpected equal")
+	}
+	cl := t1.Clone()
+	cl[0].Add(mustClass(t, h, "J").ID)
+	if t1[0].Has(mustClass(t, h, "J").ID) {
+		t.Error("Clone aliases storage")
+	}
+}

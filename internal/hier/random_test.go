@@ -1,0 +1,177 @@
+package hier
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"selspec/internal/bits"
+	"selspec/internal/lang"
+)
+
+// randomHierarchy builds a random class DAG with random multi-methods
+// over one generic function.
+func randomHierarchy(t *testing.T, rng *rand.Rand) (*Hierarchy, *GF) {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		var b strings.Builder
+		n := 4 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "class R%d", i)
+			if i > 0 && rng.Intn(4) > 0 {
+				fmt.Fprintf(&b, " isa R%d", rng.Intn(i))
+				if rng.Intn(4) == 0 {
+					if p2 := rng.Intn(i); true {
+						fmt.Fprintf(&b, ", R%d", p2)
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+		arity := 1 + rng.Intn(2)
+		nm := 1 + rng.Intn(5)
+		seen := map[string]bool{}
+		count := 0
+		for k := 0; k < nm; k++ {
+			specs := make([]string, arity)
+			names := make([]string, arity)
+			for p := range specs {
+				specs[p] = fmt.Sprintf("R%d", rng.Intn(n))
+				names[p] = fmt.Sprintf("x%d@%s", p, specs[p])
+			}
+			key := strings.Join(specs, "/")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&b, "method f(%s) { %d; }\n", strings.Join(names, ", "), k)
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		prog, err := lang.Parse(b.String())
+		if err != nil {
+			t.Fatalf("generator emitted unparseable source: %v\n%s", err, b.String())
+		}
+		h, err := Build(prog)
+		if err != nil {
+			continue // duplicate parents etc. — try again
+		}
+		g, ok := h.GF("f", arity)
+		if !ok {
+			continue
+		}
+		return h, g
+	}
+	t.Skip("could not generate a hierarchy after 20 attempts")
+	return nil, nil
+}
+
+// TestRandomApplicableClassesInvariants checks, over random
+// hierarchies, the two key properties the specializer relies on:
+//
+//  1. soundness: lookup(c⃗)=m  ⇒  ∀i: c_i ∈ ApplicableClasses[m][i];
+//  2. tightness (exact mode): every class in ApplicableClasses[m][i]
+//     appears in at least one winning tuple of m.
+func TestRandomApplicableClassesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	for round := 0; round < 60; round++ {
+		h, g := randomHierarchy(t, rng)
+		arity := g.Arity
+
+		// Enumerate every concrete tuple and record winners.
+		winners := map[*Method][][]*Class{}
+		classes := make([]*Class, arity)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == arity {
+				if m, err := h.Lookup(g, classes...); err == nil {
+					cp := make([]*Class, arity)
+					copy(cp, classes)
+					winners[m] = append(winners[m], cp)
+				}
+				return
+			}
+			for _, c := range h.Classes() {
+				classes[pos] = c
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+
+		for _, m := range g.Methods {
+			app, exact := h.ApplicableClassesExact(m)
+			// 1. Soundness.
+			for _, win := range winners[m] {
+				for i, c := range win {
+					if !app[i].Has(c.ID) {
+						t.Fatalf("round %d: lookup %v wins %s but Applicable %v misses pos %d",
+							round, win, m.Name(), app.String(h), i)
+					}
+				}
+			}
+			if !exact {
+				continue
+			}
+			// 2. Tightness on dispatched positions.
+			for _, p := range g.DispatchedPositions() {
+				covered := bits.New(h.NumClasses())
+				for _, win := range winners[m] {
+					covered.Add(win[p].ID)
+				}
+				if !app[p].SubsetOf(covered) {
+					t.Fatalf("round %d: Applicable[%s][%d] = %v has classes never winning (covered %v)",
+						round, m.Name(), p, app[p], covered)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomLookupMostSpecific: whenever lookup succeeds, the winner is
+// applicable and pointwise ⊑ every other applicable method.
+func TestRandomLookupMostSpecific(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for round := 0; round < 60; round++ {
+		h, g := randomHierarchy(t, rng)
+		classes := make([]*Class, g.Arity)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == g.Arity {
+				m, err := h.Lookup(g, classes...)
+				var applicable []*Method
+			outer:
+				for _, cand := range g.Methods {
+					for i, s := range cand.Specs {
+						if !classes[i].IsSubclassOf(s) {
+							continue outer
+						}
+					}
+					applicable = append(applicable, cand)
+				}
+				if err != nil {
+					if !err.Ambiguous && len(applicable) != 0 {
+						t.Fatalf("round %d: MNU with %d applicable methods", round, len(applicable))
+					}
+					if err.Ambiguous && len(applicable) < 2 {
+						t.Fatalf("round %d: ambiguity with %d applicable", round, len(applicable))
+					}
+					return
+				}
+				for _, o := range applicable {
+					if !m.PointwiseLE(o) {
+						t.Fatalf("round %d: winner %s not ⊑ applicable %s", round, m.Name(), o.Name())
+					}
+				}
+				return
+			}
+			for _, c := range h.Classes() {
+				classes[pos] = c
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+}

@@ -1,0 +1,127 @@
+package interp
+
+import (
+	"fmt"
+
+	"selspec/internal/ir"
+)
+
+// evalPrim implements the built-in primitive functions.
+func (in *Interp) evalPrim(p ir.Prim, args []Value) Value {
+	switch p {
+	case ir.PrimPrint, ir.PrimPrintln:
+		if in.Out != nil {
+			if p == ir.PrimPrintln {
+				fmt.Fprintln(in.Out, args[0].String())
+			} else {
+				fmt.Fprint(in.Out, args[0].String())
+			}
+		}
+		return NilV
+
+	case ir.PrimStr:
+		return StrV(args[0].String())
+
+	case ir.PrimNewArray:
+		if args[0].K != KInt || args[0].I < 0 {
+			fail("newarray size must be a non-negative integer, got %s", args[0])
+		}
+		elems := make([]Value, args[0].I)
+		for i := range elems {
+			elems[i] = NilV
+		}
+		return Value{K: KArray, A: &Array{Elems: elems}}
+
+	case ir.PrimAGet:
+		a, i := args[0], args[1]
+		if a.K != KArray || i.K != KInt {
+			fail("aget(%s, %s)", a, i)
+		}
+		if i.I < 0 || i.I >= int64(len(a.A.Elems)) {
+			fail("array index %d out of range [0, %d)", i.I, len(a.A.Elems))
+		}
+		return a.A.Elems[i.I]
+
+	case ir.PrimAPut:
+		a, i, v := args[0], args[1], args[2]
+		if a.K != KArray || i.K != KInt {
+			fail("aput(%s, %s, _)", a, i)
+		}
+		if i.I < 0 || i.I >= int64(len(a.A.Elems)) {
+			fail("array index %d out of range [0, %d)", i.I, len(a.A.Elems))
+		}
+		a.A.Elems[i.I] = v
+		return v
+
+	case ir.PrimALen:
+		if args[0].K != KArray {
+			fail("alen on non-array %s", args[0])
+		}
+		return IntV(int64(len(args[0].A.Elems)))
+
+	case ir.PrimStrLen:
+		if args[0].K != KStr {
+			fail("strlen on non-string %s", args[0])
+		}
+		return IntV(int64(len(args[0].S)))
+
+	case ir.PrimSubstr:
+		s, i, j := args[0], args[1], args[2]
+		if s.K != KStr || i.K != KInt || j.K != KInt {
+			fail("substr(%s, %s, %s)", s, i, j)
+		}
+		if i.I < 0 || j.I < i.I || j.I > int64(len(s.S)) {
+			fail("substr bounds [%d, %d) out of range for length %d", i.I, j.I, len(s.S))
+		}
+		return StrV(s.S[i.I:j.I])
+
+	case ir.PrimCharAt:
+		s, i := args[0], args[1]
+		if s.K != KStr || i.K != KInt {
+			fail("charat(%s, %s)", s, i)
+		}
+		if i.I < 0 || i.I >= int64(len(s.S)) {
+			fail("charat index %d out of range for length %d", i.I, len(s.S))
+		}
+		return StrV(string(s.S[i.I]))
+
+	case ir.PrimOrd:
+		if args[0].K != KStr || len(args[0].S) == 0 {
+			fail("ord needs a non-empty string, got %s", args[0])
+		}
+		return IntV(int64(args[0].S[0]))
+
+	case ir.PrimChr:
+		if args[0].K != KInt || args[0].I < 0 || args[0].I > 255 {
+			fail("chr needs an integer in [0, 255], got %s", args[0])
+		}
+		return StrV(string(rune(byte(args[0].I))))
+
+	case ir.PrimAbort:
+		fail("abort: %s", args[0])
+
+	case ir.PrimClassName:
+		return StrV(args[0].Class(in.H).Name)
+
+	case ir.PrimSame:
+		return BoolV(sameIdentity(args[0], args[1]))
+	}
+	panic(fmt.Sprintf("interp: unknown primitive %d", p))
+}
+
+// sameIdentity is reference identity (value identity for immediates).
+func sameIdentity(a, b Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case KObj:
+		return a.O == b.O
+	case KArray:
+		return a.A == b.A
+	case KClosure:
+		return a.C == b.C
+	default:
+		return a.Equal(b)
+	}
+}

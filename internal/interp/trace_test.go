@@ -1,0 +1,57 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+	"selspec/internal/opt"
+)
+
+func TestDispatchTracing(t *testing.T) {
+	src := `
+class A
+class B isa A
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method main() {
+  var objs := newarray(2);
+  aput(objs, 0, new A());
+  aput(objs, 1, new B());
+  var total := 0;
+  var i := 0;
+  while i < 4 { total := total + m(aget(objs, i % 2)); i := i + 1; }
+  total;
+}
+`
+	prog, err := ir.Lower(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := opt.Compile(prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(c)
+	var buf bytes.Buffer
+	in.Trace = &buf
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lookup") {
+		t.Errorf("trace has no full lookups:\n%s", out)
+	}
+	if !strings.Contains(out, "pic-hit") {
+		t.Errorf("trace has no PIC hits (third m(A) should hit):\n%s", out)
+	}
+	if !strings.Contains(out, "m/1") || !strings.Contains(out, "m(@B)") {
+		t.Errorf("trace lines lack targets:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 {
+		t.Errorf("trace lines = %d, want 4:\n%s", lines, out)
+	}
+}

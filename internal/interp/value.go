@@ -1,0 +1,230 @@
+// Package interp executes compiled Mini-Cecil programs. It is the
+// "runtime system" of the reproduction: it performs method lookup with
+// polymorphic inline caches (or dispatch tables), selects specialized
+// versions, counts every dynamic dispatch / version select / static
+// call, charges an abstract cycle cost model, and can record the
+// weighted call graph that drives the selective specialization
+// algorithm.
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+)
+
+// Kind tags a runtime value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KNil Kind = iota
+	KInt
+	KBool
+	KStr
+	KObj
+	KClosure
+	KArray
+)
+
+// Object is an instance of a user-defined class.
+type Object struct {
+	Class  *hier.Class
+	Fields []Value
+}
+
+// Array is a mutable fixed-length vector.
+type Array struct {
+	Elems []Value
+}
+
+// Frame is one activation record; closures capture their defining
+// frame, forming a static chain via Parent.
+type Frame struct {
+	Slots  []Value
+	Parent *Frame
+}
+
+// At follows the static chain depth hops and reads a slot.
+func (f *Frame) At(depth, slot int) Value {
+	for ; depth > 0; depth-- {
+		f = f.Parent
+	}
+	return f.Slots[slot]
+}
+
+// Set follows the static chain and writes a slot.
+func (f *Frame) Set(depth, slot int, v Value) {
+	for ; depth > 0; depth-- {
+		f = f.Parent
+	}
+	f.Slots[slot] = v
+}
+
+// Activation identifies a live method activation, the target of
+// (possibly non-local) returns.
+type Activation struct {
+	alive bool
+}
+
+// Closure is a first-class function value: code plus the captured
+// defining frame and the method activation non-local returns unwind to.
+type Closure struct {
+	Code  *ir.ClosureCode
+	Frame *Frame      // defining frame (static link)
+	Act   *Activation // enclosing method activation, for Return
+}
+
+// Value is a runtime value (tagged union).
+type Value struct {
+	K Kind
+	I int64 // int value, or 0/1 for bool
+	S string
+	O *Object
+	C *Closure
+	A *Array
+}
+
+// Constructors.
+var (
+	// NilV is the nil value.
+	NilV = Value{K: KNil}
+	// TrueV and FalseV are the boolean values.
+	TrueV  = Value{K: KBool, I: 1}
+	FalseV = Value{K: KBool}
+)
+
+// IntV makes an integer value.
+func IntV(i int64) Value { return Value{K: KInt, I: i} }
+
+// StrV makes a string value.
+func StrV(s string) Value { return Value{K: KStr, S: s} }
+
+// BoolV makes a boolean value.
+func BoolV(b bool) Value {
+	if b {
+		return TrueV
+	}
+	return FalseV
+}
+
+// Truthy reports whether the value is the boolean true; conditions on
+// non-booleans are runtime errors.
+func (v Value) Truthy() (bool, bool) {
+	if v.K != KBool {
+		return false, false
+	}
+	return v.I != 0, true
+}
+
+// Class returns the runtime class of the value.
+func (v Value) Class(h *hier.Hierarchy) *hier.Class {
+	switch v.K {
+	case KInt:
+		return h.Builtin(hier.IntName)
+	case KBool:
+		return h.Builtin(hier.BoolName)
+	case KStr:
+		return h.Builtin(hier.StringName)
+	case KObj:
+		return v.O.Class
+	case KClosure:
+		return h.Builtin(hier.ClosureName)
+	case KArray:
+		return h.Builtin(hier.ArrayName)
+	default:
+		return h.Builtin(hier.NilName)
+	}
+}
+
+// Equal implements the == primitive: value equality for immediates,
+// identity for objects, closures and arrays.
+func (v Value) Equal(w Value) bool {
+	if v.K != w.K {
+		return false
+	}
+	switch v.K {
+	case KNil:
+		return true
+	case KInt, KBool:
+		return v.I == w.I
+	case KStr:
+		return v.S == w.S
+	case KObj:
+		return v.O == w.O
+	case KClosure:
+		return v.C == w.C
+	case KArray:
+		return v.A == w.A
+	}
+	return false
+}
+
+// String renders the value as the str/print primitives do.
+func (v Value) String() string {
+	switch v.K {
+	case KNil:
+		return "nil"
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KStr:
+		return v.S
+	case KObj:
+		var b strings.Builder
+		b.WriteString(v.O.Class.Name)
+		b.WriteByte('(')
+		for i, f := range v.O.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if f.K == KObj {
+				// Avoid unbounded recursion through cyclic structures.
+				b.WriteString(f.O.Class.Name)
+				b.WriteString("(...)")
+			} else {
+				b.WriteString(f.String())
+			}
+		}
+		b.WriteByte(')')
+		return b.String()
+	case KClosure:
+		return "<closure>"
+	case KArray:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range v.A.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if e.K == KArray || e.K == KObj {
+				b.WriteString("...")
+			} else {
+				b.WriteString(e.String())
+			}
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	return "<?>"
+}
+
+// RuntimeError is a Mini-Cecil runtime error (message-not-understood,
+// type errors, aborts, ...).
+type RuntimeError struct {
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+// returnSignal implements (non-local) return via panic/recover.
+type returnSignal struct {
+	act *Activation
+	val Value
+}

@@ -1,0 +1,185 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+	"selspec/internal/opt"
+	"selspec/internal/profile"
+)
+
+// buildSelective compiles a program under Selective with hand-built
+// directives that force run-time version selection at a
+// statically-bound call site.
+func buildSelective(t *testing.T) (*opt.Compiled, *ir.Program) {
+	t.Helper()
+	src := `
+class A
+class B isa A
+class C isa A
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method callM(x@A) { x.m(); }
+method main() {
+  var objs := newarray(3);
+  aput(objs, 0, new A());
+  aput(objs, 1, new B());
+  aput(objs, 2, new C());
+  var total := 0;
+  var i := 0;
+  while i < 30 {
+    total := total + callM(aget(objs, i % 3));
+    i := i + 1;
+  }
+  total;
+}
+`
+	prog, err := ir.Lower(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prog.H
+	var callM *hier.Method
+	for _, m := range h.Methods() {
+		if m.GF.Name == "callM" {
+			callM = m
+		}
+	}
+	b, _ := h.Class("B")
+	c, _ := h.Class("C")
+	gen := h.ApplicableClasses(callM).Clone()
+	specB := gen.Clone()
+	specB[0].Clear()
+	specB[0].Add(b.ID)
+	specC := gen.Clone()
+	specC[0].Clear()
+	specC[0].Add(c.ID)
+	comp, err := opt.Compile(prog, opt.Options{
+		Config:          opt.Selective,
+		Specializations: map[*hier.Method][]hier.Tuple{callM: {gen, specB, specC}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, prog
+}
+
+func TestVersionSelectionAtRuntime(t *testing.T) {
+	comp, _ := buildSelective(t)
+	in := New(comp)
+	val, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10×(A:1) + 10×(B:2) + 10×(C:1) = 40.
+	if val.String() != "40" {
+		t.Fatalf("value = %s", val)
+	}
+	// Every callM dispatch selects a version (PIC folds that in); the
+	// specialized B version runs with x.m() statically bound inside.
+	if in.Counters.Dispatches == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if in.InvokedVersions() < 5 {
+		t.Errorf("expected ≥5 distinct versions invoked, got %d", in.InvokedVersions())
+	}
+}
+
+func TestVersionSelectionUnderAllMechanisms(t *testing.T) {
+	for _, mech := range []Mechanism{MechPIC, MechGlobal, MechTables} {
+		comp, _ := buildSelective(t)
+		in := New(comp)
+		in.Mech = mech
+		val, err := in.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if val.String() != "40" {
+			t.Fatalf("%v: value = %s", mech, val)
+		}
+	}
+}
+
+func TestTableLookupErrors(t *testing.T) {
+	src := `
+class A
+class B1 isa A
+class B2 isa A
+class D isa B1, B2
+method amb(x@B1) { 1; }
+method amb(x@B2) { 2; }
+method id(x) { x; }
+method main() { amb(id(new D())); }
+`
+	prog, err := ir.Lower(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := opt.Compile(prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(comp)
+	in.Mech = MechTables
+	_, rerr := in.Run()
+	if rerr == nil || !strings.Contains(rerr.Error(), "ambiguous") {
+		t.Fatalf("err = %v", rerr)
+	}
+
+	// Not-understood through tables.
+	src2 := strings.Replace(src, "amb(id(new D()))", "amb(id(42))", 1)
+	prog2, err := ir.Lower(lang.MustParse(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := opt.Compile(prog2, opt.Options{Config: opt.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := New(comp2)
+	in2.Mech = MechTables
+	_, rerr = in2.Run()
+	if rerr == nil || !strings.Contains(rerr.Error(), "not understood") {
+		t.Fatalf("err = %v", rerr)
+	}
+}
+
+func TestProfileRecordsEntriesAndStaticArcs(t *testing.T) {
+	src := `
+class A
+class B isa A
+method m(x@A) { x; }
+method caller(x@A) { x.m(); }
+method main() { caller(new A()); caller(new B()); 0; }
+`
+	prog, err := ir.Lower(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := opt.Compile(prog, opt.Options{Config: opt.Base, DisableInlining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(comp)
+	cg := profile.NewCallGraph(prog)
+	in.Profile = cg
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cg.Len() == 0 {
+		t.Fatal("no arcs recorded")
+	}
+	var caller *hier.Method
+	for _, m := range prog.H.Methods() {
+		if m.GF.Name == "caller" {
+			caller = m
+		}
+	}
+	ts := cg.Entries(caller)
+	if ts == nil || len(ts.Tuples) != 2 {
+		t.Fatalf("entry tuples for caller: %+v", ts)
+	}
+}

@@ -1,0 +1,147 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders an IR tree as an indented S-expression-style listing,
+// for debugging and golden tests. The output is stable and carries the
+// information an optimizer developer needs: slot/depth numbers,
+// resolved field slots, call-site IDs, and target versions.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n, 0)
+	return b.String()
+}
+
+func dump(b *strings.Builder, n Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if n == nil {
+		fmt.Fprintf(b, "%s(nil)\n", ind)
+		return
+	}
+	switch n := n.(type) {
+	case *Const:
+		switch n.Kind {
+		case KInt:
+			fmt.Fprintf(b, "%s(int %d)\n", ind, n.Int)
+		case KStr:
+			fmt.Fprintf(b, "%s(str %q)\n", ind, n.Str)
+		case KBool:
+			fmt.Fprintf(b, "%s(bool %t)\n", ind, n.Bool)
+		default:
+			fmt.Fprintf(b, "%s(nil-lit)\n", ind)
+		}
+	case *Local:
+		fmt.Fprintf(b, "%s(local %d.%d %s)\n", ind, n.Depth, n.Slot, n.Name)
+	case *SetLocal:
+		fmt.Fprintf(b, "%s(set-local %d.%d %s\n", ind, n.Depth, n.Slot, n.Name)
+		dump(b, n.X, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Global:
+		fmt.Fprintf(b, "%s(global %d %s)\n", ind, n.Slot, n.Name)
+	case *SetGlobal:
+		fmt.Fprintf(b, "%s(set-global %d %s\n", ind, n.Slot, n.Name)
+		dump(b, n.X, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *GetField:
+		fmt.Fprintf(b, "%s(get-field %s slot=%d\n", ind, n.Name, n.Slot)
+		dump(b, n.Obj, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *SetField:
+		fmt.Fprintf(b, "%s(set-field %s slot=%d\n", ind, n.Name, n.Slot)
+		dump(b, n.Obj, depth+1)
+		dump(b, n.X, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Seq:
+		fmt.Fprintf(b, "%s(seq\n", ind)
+		for _, c := range n.Nodes {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *If:
+		fmt.Fprintf(b, "%s(if\n", ind)
+		dump(b, n.Cond, depth+1)
+		dump(b, n.Then, depth+1)
+		if n.Else != nil {
+			dump(b, n.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *While:
+		fmt.Fprintf(b, "%s(while\n", ind)
+		dump(b, n.Cond, depth+1)
+		dump(b, n.Body, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Return:
+		fmt.Fprintf(b, "%s(return\n", ind)
+		dump(b, n.X, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *New:
+		fmt.Fprintf(b, "%s(new %s\n", ind, n.Class.Name)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *MakeClosure:
+		fmt.Fprintf(b, "%s(closure params=%d slots=%d\n", ind, n.Fn.NumParams, n.Fn.NumSlots)
+		dump(b, n.Fn.Body, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *CallClosure:
+		fmt.Fprintf(b, "%s(call-closure\n", ind)
+		dump(b, n.Fn, depth+1)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Send:
+		fmt.Fprintf(b, "%s(send %s site=%d\n", ind, n.Site.GF.Key(), n.Site.ID)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *StaticCall:
+		fmt.Fprintf(b, "%s(static-call %s site=%d\n", ind, n.Target, n.Site.ID)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *VersionSelect:
+		fmt.Fprintf(b, "%s(version-select %s site=%d\n", ind, n.Method.Name(), n.Site.ID)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Bin:
+		fmt.Fprintf(b, "%s(bin %s\n", ind, n.Op)
+		dump(b, n.L, depth+1)
+		dump(b, n.R, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Un:
+		op := "neg"
+		if n.Op == OpNot {
+			op = "not"
+		}
+		fmt.Fprintf(b, "%s(un %s\n", ind, op)
+		dump(b, n.X, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *PrimCall:
+		fmt.Fprintf(b, "%s(prim %d\n", ind, n.Prim)
+		for _, c := range n.Args {
+			dump(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *And:
+		fmt.Fprintf(b, "%s(and\n", ind)
+		dump(b, n.L, depth+1)
+		dump(b, n.R, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	case *Or:
+		fmt.Fprintf(b, "%s(or\n", ind)
+		dump(b, n.L, depth+1)
+		dump(b, n.R, depth+1)
+		fmt.Fprintf(b, "%s)\n", ind)
+	default:
+		fmt.Fprintf(b, "%s(?%T)\n", ind, n)
+	}
+}

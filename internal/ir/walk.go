@@ -1,0 +1,173 @@
+package ir
+
+import "fmt"
+
+// Walk calls f on n and every descendant node in evaluation order,
+// including closure bodies. If f returns false for a node, its
+// children are skipped.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Const, *Local, *Global:
+	case *SetLocal:
+		Walk(n.X, f)
+	case *SetGlobal:
+		Walk(n.X, f)
+	case *GetField:
+		Walk(n.Obj, f)
+	case *SetField:
+		Walk(n.Obj, f)
+		Walk(n.X, f)
+	case *Seq:
+		for _, c := range n.Nodes {
+			Walk(c, f)
+		}
+	case *If:
+		Walk(n.Cond, f)
+		Walk(n.Then, f)
+		Walk(n.Else, f)
+	case *While:
+		Walk(n.Cond, f)
+		Walk(n.Body, f)
+	case *Return:
+		Walk(n.X, f)
+	case *New:
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *MakeClosure:
+		Walk(n.Fn.Body, f)
+	case *CallClosure:
+		Walk(n.Fn, f)
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *Send:
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *StaticCall:
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *VersionSelect:
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *Bin:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	case *Un:
+		Walk(n.X, f)
+	case *PrimCall:
+		for _, c := range n.Args {
+			Walk(c, f)
+		}
+	case *And:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	case *Or:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	default:
+		panic(fmt.Sprintf("ir.Walk: unknown node %T", n))
+	}
+}
+
+// Size returns the number of IR nodes in the tree (including closure
+// bodies): the code-space metric used for the paper's Figure 6
+// comparisons alongside version counts.
+func Size(n Node) int {
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	return count
+}
+
+// Clone deep-copies an IR tree. CallSites are shared (site identity is
+// how profiles and arcs are keyed); ClosureCode is copied so each
+// compiled version can optimize its closure bodies independently.
+func Clone(n Node) Node {
+	if n == nil {
+		return nil
+	}
+	switch n := n.(type) {
+	case *Const:
+		c := *n
+		return &c
+	case *Local:
+		c := *n
+		return &c
+	case *Global:
+		c := *n
+		return &c
+	case *SetLocal:
+		return &SetLocal{Depth: n.Depth, Slot: n.Slot, Name: n.Name, X: Clone(n.X)}
+	case *SetGlobal:
+		return &SetGlobal{Slot: n.Slot, Name: n.Name, X: Clone(n.X)}
+	case *GetField:
+		return &GetField{Obj: Clone(n.Obj), Name: n.Name, Slot: n.Slot}
+	case *SetField:
+		return &SetField{Obj: Clone(n.Obj), Name: n.Name, Slot: n.Slot, X: Clone(n.X)}
+	case *Seq:
+		return &Seq{Nodes: cloneSlice(n.Nodes)}
+	case *If:
+		return &If{Cond: Clone(n.Cond), Then: Clone(n.Then), Else: Clone(n.Else)}
+	case *While:
+		return &While{Cond: Clone(n.Cond), Body: Clone(n.Body)}
+	case *Return:
+		return &Return{X: Clone(n.X)}
+	case *New:
+		return &New{Class: n.Class, Args: cloneSlice(n.Args)}
+	case *MakeClosure:
+		return &MakeClosure{Fn: &ClosureCode{
+			NumParams: n.Fn.NumParams,
+			NumSlots:  n.Fn.NumSlots,
+			Body:      Clone(n.Fn.Body),
+			Owner:     n.Fn.Owner,
+		}}
+	case *CallClosure:
+		return &CallClosure{Fn: Clone(n.Fn), Args: cloneSlice(n.Args)}
+	case *Send:
+		return &Send{Site: n.Site, Args: cloneSlice(n.Args)}
+	case *StaticCall:
+		return &StaticCall{Target: n.Target, Site: n.Site, Args: cloneSlice(n.Args)}
+	case *VersionSelect:
+		return &VersionSelect{Method: n.Method, Site: n.Site, Args: cloneSlice(n.Args)}
+	case *Bin:
+		return &Bin{Op: n.Op, L: Clone(n.L), R: Clone(n.R)}
+	case *Un:
+		return &Un{Op: n.Op, X: Clone(n.X)}
+	case *PrimCall:
+		return &PrimCall{Prim: n.Prim, Args: cloneSlice(n.Args)}
+	case *And:
+		return &And{L: Clone(n.L), R: Clone(n.R)}
+	case *Or:
+		return &Or{L: Clone(n.L), R: Clone(n.R)}
+	}
+	panic(fmt.Sprintf("ir.Clone: unknown node %T", n))
+}
+
+func cloneSlice(ns []Node) []Node {
+	out := make([]Node, len(ns))
+	for i, n := range ns {
+		out[i] = Clone(n)
+	}
+	return out
+}
+
+// SendSites returns the Send nodes in the tree, in evaluation order.
+func SendSites(n Node) []*Send {
+	var out []*Send
+	Walk(n, func(n Node) bool {
+		if s, ok := n.(*Send); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,248 @@
+package lang
+
+// This file defines the abstract syntax tree produced by the parser.
+// The AST is deliberately plain: lowering to IR, name resolution and
+// all analysis live in later packages.
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Methods []*MethodDecl
+	Globals []*GlobalDecl
+}
+
+// ClassDecl declares a class, its parents and its fields.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Parents []string // empty means "isa Any"
+	Fields  []*FieldDecl
+}
+
+// FieldDecl declares one instance field with an optional declared type
+// ("field x : T := e;") and an optional default initializer (evaluated
+// at instantiation when no positional argument covers the field).
+// Declared field types are enforced at run time and exploited by class
+// hierarchy analysis, as in Cecil/Vortex.
+type FieldDecl struct {
+	Pos  Pos
+	Name string
+	Type string // declared type class name; "" = untyped
+	Init Expr   // may be nil
+}
+
+// MethodDecl declares one multi-method. Params[i].Spec is the
+// specializer class name, "" meaning Any (undispatched position).
+type MethodDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+// Param is one formal parameter with optional specializer.
+type Param struct {
+	Pos  Pos
+	Name string
+	Spec string // "" = Any
+}
+
+// GlobalDecl declares a top-level variable ("var g := expr;").
+type GlobalDecl struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// Stmt is a statement inside a block.
+type Stmt interface{ stmt() }
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	Position() Pos
+}
+
+// Block is a sequence of statements; as an expression its value is the
+// value of the final expression statement (nil otherwise).
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a block-local variable.
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// ExprStmt evaluates an expression for effect (and, if last in a block,
+// for value).
+type ExprStmt struct{ X Expr }
+
+// AssignStmt assigns to a local/global variable or an object field.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // *Ident or *FieldAccess
+	RHS Expr
+}
+
+// ReturnStmt returns from the lexically enclosing method (non-local
+// when it occurs inside a closure).
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil (returns nil)
+}
+
+// WhileStmt loops while the condition is true; its value is nil.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// IfStmt is a conditional; usable in both statement and trailing
+// expression position (its value is the value of the taken branch).
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil; else-if chains parse as nested blocks
+}
+
+func (*VarStmt) stmt()    {}
+func (*ExprStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*ReturnStmt) stmt() {}
+func (*WhileStmt) stmt()  {}
+func (*IfStmt) stmt()     {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// NilLit is the nil literal.
+type NilLit struct{ Pos Pos }
+
+// Ident references a variable (local, formal, or global). The parser
+// cannot distinguish these; lowering resolves the reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Call is "callee(args...)" where the callee is a bare identifier. It
+// becomes a message send, a primitive call, or a closure call depending
+// on what the identifier resolves to at lowering time.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// SendSugar is "recv.sel(args...)": message send with the receiver as
+// first argument, i.e. sel(recv, args...).
+type SendSugar struct {
+	Pos  Pos
+	Recv Expr
+	Sel  string
+	Args []Expr
+}
+
+// FieldAccess is "recv.name" without parentheses: a field read.
+type FieldAccess struct {
+	Pos  Pos
+	Recv Expr
+	Name string
+}
+
+// ApplyExpr is "f(args...)" where f is a non-identifier expression:
+// always a closure invocation.
+type ApplyExpr struct {
+	Pos  Pos
+	Fn   Expr
+	Args []Expr
+}
+
+// NewExpr instantiates a class with positional field values covering
+// the class's fields (inherited first, in declaration order); omitted
+// trailing fields take their declared initializers (or nil).
+type NewExpr struct {
+	Pos   Pos
+	Class string
+	Args  []Expr
+}
+
+// FnExpr is a closure literal.
+type FnExpr struct {
+	Pos    Pos
+	Params []string
+	Body   *Block
+}
+
+// UnaryExpr applies ! or unary -.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind // NOT or MINUS
+	X   Expr
+}
+
+// BinaryExpr applies a primitive binary operator. && and || are
+// short-circuiting.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// BlockExpr wraps a parenthesized or branch block used in expression
+// position (only produced for if-expressions' branches).
+type BlockExpr struct {
+	Pos   Pos
+	Block *Block
+}
+
+func (*IntLit) expr()      {}
+func (*StrLit) expr()      {}
+func (*BoolLit) expr()     {}
+func (*NilLit) expr()      {}
+func (*Ident) expr()       {}
+func (*Call) expr()        {}
+func (*SendSugar) expr()   {}
+func (*FieldAccess) expr() {}
+func (*ApplyExpr) expr()   {}
+func (*NewExpr) expr()     {}
+func (*FnExpr) expr()      {}
+func (*UnaryExpr) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*BlockExpr) expr()   {}
+
+func (e *IntLit) Position() Pos      { return e.Pos }
+func (e *StrLit) Position() Pos      { return e.Pos }
+func (e *BoolLit) Position() Pos     { return e.Pos }
+func (e *NilLit) Position() Pos      { return e.Pos }
+func (e *Ident) Position() Pos       { return e.Pos }
+func (e *Call) Position() Pos        { return e.Pos }
+func (e *SendSugar) Position() Pos   { return e.Pos }
+func (e *FieldAccess) Position() Pos { return e.Pos }
+func (e *ApplyExpr) Position() Pos   { return e.Pos }
+func (e *NewExpr) Position() Pos     { return e.Pos }
+func (e *FnExpr) Position() Pos      { return e.Pos }
+func (e *UnaryExpr) Position() Pos   { return e.Pos }
+func (e *BinaryExpr) Position() Pos  { return e.Pos }
+func (e *BlockExpr) Position() Pos   { return e.Pos }

@@ -1,0 +1,232 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns Mini-Cecil source text into a token stream. Comments run
+// from "--" or "//" to end of line. Strings use double quotes with the
+// escapes \n \t \\ \" .
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int // column of next rune, 1-based
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	if lx.off+w >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off+w:])
+	return r
+}
+
+func (lx *Lexer) next() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentCont(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// skipSpace consumes whitespace and comments.
+func (lx *Lexer) skipSpace() {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.next()
+		case r == '-' && lx.peek2() == '-', r == '/' && lx.peek2() == '/':
+			for lx.peek() != '\n' && lx.peek() != -1 {
+				lx.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an error for malformed input.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpace()
+	pos := lx.pos()
+	r := lx.peek()
+	if r == -1 {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+
+	switch {
+	case isIdentStart(r):
+		start := lx.off
+		for isIdentCont(lx.peek()) {
+			lx.next()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(r):
+		start := lx.off
+		for unicode.IsDigit(lx.peek()) {
+			lx.next()
+		}
+		if isIdentStart(lx.peek()) {
+			return Token{}, errf(pos, "malformed number: letter follows digits")
+		}
+		return Token{Kind: INT, Text: lx.src[start:lx.off], Pos: pos}, nil
+
+	case r == '"':
+		lx.next()
+		var b strings.Builder
+		for {
+			c := lx.next()
+			switch c {
+			case -1, '\n':
+				return Token{}, errf(pos, "unterminated string literal")
+			case '"':
+				return Token{Kind: STRING, Text: b.String(), Pos: pos}, nil
+			case '\\':
+				e := lx.next()
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c", e)
+				}
+			default:
+				b.WriteRune(c)
+			}
+		}
+	}
+
+	lx.next()
+	tok := func(k Kind) (Token, error) { return Token{Kind: k, Pos: pos}, nil }
+	two := func(second rune, k2, k1 Kind) (Token, error) {
+		if lx.peek() == second {
+			lx.next()
+			return tok(k2)
+		}
+		return tok(k1)
+	}
+
+	switch r {
+	case '(':
+		return tok(LPAREN)
+	case ')':
+		return tok(RPAREN)
+	case '{':
+		return tok(LBRACE)
+	case '}':
+		return tok(RBRACE)
+	case '[':
+		return tok(LBRACKET)
+	case ']':
+		return tok(RBRACKET)
+	case ',':
+		return tok(COMMA)
+	case ';':
+		return tok(SEMI)
+	case '.':
+		return tok(DOT)
+	case '@':
+		return tok(AT)
+	case '+':
+		return tok(PLUS)
+	case '-':
+		return tok(MINUS)
+	case '*':
+		return tok(STAR)
+	case '/':
+		return tok(SLASH)
+	case '%':
+		return tok(PERCENT)
+	case ':':
+		if lx.peek() == '=' {
+			lx.next()
+			return tok(ASSIGN)
+		}
+		return tok(COLON)
+	case '=':
+		if lx.peek() == '=' {
+			lx.next()
+			return tok(EQ)
+		}
+		return Token{}, errf(pos, "unexpected '=' (use ':=' for assignment, '==' for equality)")
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '&':
+		if lx.peek() == '&' {
+			lx.next()
+			return tok(ANDAND)
+		}
+		return Token{}, errf(pos, "unexpected '&' (did you mean '&&'?)")
+	case '|':
+		if lx.peek() == '|' {
+			lx.next()
+			return tok(OROR)
+		}
+		return Token{}, errf(pos, "unexpected '|' (did you mean '||'?)")
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+// Tokenize lexes the whole input, returning all tokens up to and
+// including EOF, or the first error.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`class Set isa Any { field n := 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWCLASS, IDENT, KWISA, IDENT, LBRACE, KWFIELD, IDENT, ASSIGN, INT, SEMI, RBRACE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize(`+ - * / % == != < <= > >= && || ! := : . @ , ; ( ) { } [ ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{PLUS, MINUS, STAR, SLASH, PERCENT, EQ, NE, LT, LE, GT, GE,
+		ANDAND, OROR, NOT, ASSIGN, COLON, DOT, AT, COMMA, SEMI,
+		LPAREN, RPAREN, LBRACE, RBRACE, LBRACKET, RBRACKET, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a -- dash comment\nb // slash comment\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	if toks[1].Pos.Line != 2 || toks[2].Pos.Line != 3 {
+		t.Errorf("line tracking wrong: %v %v", toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestTokenizeStrings(t *testing.T) {
+	toks, err := Tokenize(`"hello\n\t\"x\"\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != STRING || toks[0].Text != "hello\n\t\"x\"\\" {
+		t.Fatalf("string = %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeKeywordsVsIdents(t *testing.T) {
+	toks, err := Tokenize("classy class newish new fnord fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, KWCLASS, IDENT, KWNEW, IDENT, KWFN, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{`"bad \q escape"`, "unknown escape"},
+		{`a = b`, "unexpected '='"},
+		{`a & b`, "did you mean '&&'"},
+		{`a | b`, "did you mean '||'"},
+		{`12abc`, "malformed number"},
+		{"#", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Tokenize(c.src)
+		if err == nil {
+			t.Errorf("Tokenize(%q): no error, want %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Tokenize(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("ab at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("cd at %v", toks[1].Pos)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := errf(Pos{3, 7}, "bad %s", "thing")
+	if e.Error() != "3:7: bad thing" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

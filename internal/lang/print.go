@@ -1,0 +1,216 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to (normalized) Mini-Cecil source. The
+// output reparses to an equivalent AST; tests rely on this round trip.
+func Format(p *Program) string {
+	var b strings.Builder
+	pr := &printer{b: &b}
+	for _, c := range p.Classes {
+		pr.classDecl(c)
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "var %s := ", g.Name)
+		pr.expr(g.Init)
+		b.WriteString(";\n")
+	}
+	for _, m := range p.Methods {
+		pr.methodDecl(m)
+	}
+	return b.String()
+}
+
+// FormatExpr renders a single expression.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	(&printer{b: &b}).expr(e)
+	return b.String()
+}
+
+type printer struct {
+	b      *strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+func (p *printer) classDecl(c *ClassDecl) {
+	fmt.Fprintf(p.b, "class %s", c.Name)
+	if len(c.Parents) > 0 {
+		fmt.Fprintf(p.b, " isa %s", strings.Join(c.Parents, ", "))
+	}
+	if len(c.Fields) > 0 {
+		p.b.WriteString(" {")
+		p.indent++
+		for _, f := range c.Fields {
+			p.nl()
+			fmt.Fprintf(p.b, "field %s", f.Name)
+			if f.Type != "" {
+				fmt.Fprintf(p.b, " : %s", f.Type)
+			}
+			if f.Init != nil {
+				p.b.WriteString(" := ")
+				p.expr(f.Init)
+			}
+			p.b.WriteByte(';')
+		}
+		p.indent--
+		p.nl()
+		p.b.WriteString("}")
+	}
+	p.b.WriteString("\n")
+}
+
+func (p *printer) methodDecl(m *MethodDecl) {
+	fmt.Fprintf(p.b, "method %s(", m.Name)
+	for i, prm := range m.Params {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(prm.Name)
+		if prm.Spec != "" {
+			fmt.Fprintf(p.b, "@%s", prm.Spec)
+		}
+	}
+	p.b.WriteString(") ")
+	p.block(m.Body)
+	p.b.WriteString("\n")
+}
+
+func (p *printer) block(b *Block) {
+	p.b.WriteString("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.b.WriteString("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		fmt.Fprintf(p.b, "var %s := ", s.Name)
+		p.expr(s.Init)
+		p.b.WriteByte(';')
+	case *ExprStmt:
+		p.expr(s.X)
+		p.b.WriteByte(';')
+	case *AssignStmt:
+		p.expr(s.LHS)
+		p.b.WriteString(" := ")
+		p.expr(s.RHS)
+		p.b.WriteByte(';')
+	case *ReturnStmt:
+		p.b.WriteString("return")
+		if s.X != nil {
+			p.b.WriteByte(' ')
+			p.expr(s.X)
+		}
+		p.b.WriteByte(';')
+	case *WhileStmt:
+		p.b.WriteString("while ")
+		p.expr(s.Cond)
+		p.b.WriteByte(' ')
+		p.block(s.Body)
+	case *IfStmt:
+		p.b.WriteString("if ")
+		p.expr(s.Cond)
+		p.b.WriteByte(' ')
+		p.block(s.Then)
+		if s.Else != nil {
+			p.b.WriteString(" else ")
+			p.block(s.Else)
+		}
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+var opText = map[Kind]string{
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!",
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(p.b, "%d", e.Val)
+	case *StrLit:
+		fmt.Fprintf(p.b, "%q", e.Val)
+	case *BoolLit:
+		fmt.Fprintf(p.b, "%t", e.Val)
+	case *NilLit:
+		p.b.WriteString("nil")
+	case *Ident:
+		p.b.WriteString(e.Name)
+	case *Call:
+		fmt.Fprintf(p.b, "%s(", e.Name)
+		p.args(e.Args)
+		p.b.WriteByte(')')
+	case *SendSugar:
+		p.expr(e.Recv)
+		fmt.Fprintf(p.b, ".%s(", e.Sel)
+		p.args(e.Args)
+		p.b.WriteByte(')')
+	case *FieldAccess:
+		p.expr(e.Recv)
+		fmt.Fprintf(p.b, ".%s", e.Name)
+	case *ApplyExpr:
+		p.b.WriteByte('(')
+		p.expr(e.Fn)
+		p.b.WriteString(")(")
+		p.args(e.Args)
+		p.b.WriteByte(')')
+	case *NewExpr:
+		fmt.Fprintf(p.b, "new %s(", e.Class)
+		p.args(e.Args)
+		p.b.WriteByte(')')
+	case *FnExpr:
+		fmt.Fprintf(p.b, "fn(%s) ", strings.Join(e.Params, ", "))
+		p.block(e.Body)
+	case *UnaryExpr:
+		p.b.WriteString(opText[e.Op])
+		p.b.WriteByte('(')
+		p.expr(e.X)
+		p.b.WriteByte(')')
+	case *BinaryExpr:
+		p.b.WriteByte('(')
+		p.expr(e.L)
+		fmt.Fprintf(p.b, " %s ", opText[e.Op])
+		p.expr(e.R)
+		p.b.WriteByte(')')
+	case *BlockExpr:
+		// Only if-expressions appear here; print the inner if inline.
+		if len(e.Block.Stmts) == 1 {
+			if ifs, ok := e.Block.Stmts[0].(*IfStmt); ok {
+				p.stmt(ifs)
+				return
+			}
+		}
+		p.block(e.Block)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+func (p *printer) args(args []Expr) {
+	for i, a := range args {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.expr(a)
+	}
+}

@@ -1,0 +1,133 @@
+// Package lang implements the front end of Mini-Cecil, the small
+// multi-method object-oriented language used to reproduce the PLDI'95
+// selective specialization paper. It provides the lexer, the abstract
+// syntax tree, and a recursive-descent parser.
+//
+// Mini-Cecil is Cecil-flavoured: classes form a multiple-inheritance
+// DAG, methods are multi-methods dispatched on any subset of their
+// arguments ("method m(a@C, b@D) { ... }"), closures are first class
+// ("fn(x) { ... }") and "return" performs a non-local return from the
+// lexically enclosing method, as in the paper's Set example.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	DOT      // .
+	AT       // @
+	COLON    // :
+	ASSIGN   // :=
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	ANDAND   // &&
+	OROR     // ||
+	NOT      // !
+
+	// Keywords.
+	KWCLASS
+	KWISA
+	KWFIELD
+	KWMETHOD
+	KWVAR
+	KWIF
+	KWELSE
+	KWWHILE
+	KWRETURN
+	KWNEW
+	KWFN
+	KWTRUE
+	KWFALSE
+	KWNIL
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", STRING: "string",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACKET: "'['", RBRACKET: "']'",
+	COMMA: "','", SEMI: "';'", DOT: "'.'", AT: "'@'", COLON: "':'",
+	ASSIGN: "':='", PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'",
+	PERCENT: "'%'", EQ: "'=='", NE: "'!='", LT: "'<'", LE: "'<='",
+	GT: "'>'", GE: "'>='", ANDAND: "'&&'", OROR: "'||'", NOT: "'!'",
+	KWCLASS: "'class'", KWISA: "'isa'", KWFIELD: "'field'",
+	KWMETHOD: "'method'", KWVAR: "'var'", KWIF: "'if'", KWELSE: "'else'",
+	KWWHILE: "'while'", KWRETURN: "'return'", KWNEW: "'new'",
+	KWFN: "'fn'", KWTRUE: "'true'", KWFALSE: "'false'", KWNIL: "'nil'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"class": KWCLASS, "isa": KWISA, "field": KWFIELD, "method": KWMETHOD,
+	"var": KWVAR, "if": KWIF, "else": KWELSE, "while": KWWHILE,
+	"return": KWRETURN, "new": KWNEW, "fn": KWFN,
+	"true": KWTRUE, "false": KWFALSE, "nil": KWNIL,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, integer literal text, or decoded string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end error (lexical or syntactic) with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

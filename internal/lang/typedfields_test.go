@@ -1,0 +1,66 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTypedFields(t *testing.T) {
+	p, err := Parse(`
+class T
+class H {
+  field plain := 1;
+  field typed : T;
+  field both : T := nil;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := p.Classes[1].Fields
+	if fs[0].Type != "" || fs[0].Init == nil {
+		t.Errorf("plain field parsed wrong: %+v", fs[0])
+	}
+	if fs[1].Type != "T" || fs[1].Init != nil {
+		t.Errorf("typed field parsed wrong: %+v", fs[1])
+	}
+	if fs[2].Type != "T" || fs[2].Init == nil {
+		t.Errorf("typed+init field parsed wrong: %+v", fs[2])
+	}
+}
+
+func TestParseTypedFieldErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{`class H { field x : ; }`, "expected identifier"},
+		{`class H { field x : 3; }`, "expected identifier"},
+		{`class H { field x : T 1; }`, "expected ';'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Parse(%q) err = %v, want %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestFormatTypedFieldsRoundTrip(t *testing.T) {
+	src := `
+class T
+class H { field a : T := nil; field b := 2; field c : T; }
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := Format(p1)
+	if !strings.Contains(f1, "field a : T := nil;") || !strings.Contains(f1, "field c : T;") {
+		t.Fatalf("Format lost field types:\n%s", f1)
+	}
+	p2, err := Parse(f1)
+	if err != nil {
+		t.Fatalf("formatted source does not reparse: %v\n%s", err, f1)
+	}
+	if f2 := Format(p2); f1 != f2 {
+		t.Fatalf("Format not a fixpoint:\n%s\n---\n%s", f1, f2)
+	}
+}

@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"testing"
+
+	"selspec/internal/ir"
+)
+
+// Regression test for loop analysis precision: a loop counter assigned
+// arithmetically inside the loop must stay {Int}, so sends dispatched
+// on an @Int position inside the loop still bind under CHA. (An early
+// version widened every loop-assigned slot to Top, which silently
+// killed most loop-resident bindings.)
+func TestLoopCounterStaysInt(t *testing.T) {
+	src := `
+class V { field n : Int := 0; }
+method at(v@V, i@Int) { v.n + i; }
+method scan(v@V) {
+  var total := 0;
+  var i := 10;
+  while i > 0 {
+    total := total + v.at(i);
+    i := i - 1;
+  }
+  total;
+}
+method main() { scan(new V(5)); }
+`
+	c := compile(t, src, Options{Config: CHA})
+	v := c.General(methodByName(t, c, "scan", "V"))
+	if got := countNodes[*ir.Send](v.Body); got != 0 {
+		t.Fatalf("at(@V,@Int) did not bind inside the loop: %d dynamic sends\n%s",
+			got, ir.Dump(v.Body))
+	}
+}
+
+// A loop variable assigned from an unanalyzable source (a send result)
+// must still widen to Top — the syntactic bound cannot pretend to know
+// better.
+func TestLoopVarFromSendWidens(t *testing.T) {
+	src := `
+class A
+class B isa A
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method next(x@A) { x; }
+method churn(x@A) {
+  var cur := x;
+  var i := 0;
+  var total := 0;
+  while i < 3 {
+    total := total + cur.m();
+    cur := cur.next();
+    i := i + 1;
+  }
+  total;
+}
+method main() { churn(new B()); }
+`
+	c := compile(t, src, Options{Config: CHA})
+	v := c.General(methodByName(t, c, "churn", "A"))
+	// cur widens to Top (assigned from a send), so cur.m() must remain
+	// dynamic even under CHA — binding it would be unsound if next were
+	// overridden later... more to the point, Top means no proof.
+	if got := countNodes[*ir.Send](v.Body); got == 0 {
+		t.Fatalf("cur.m() was bound despite cur coming from a send:\n%s", ir.Dump(v.Body))
+	}
+}
+
+// Accumulators built with '+' keep the {Int,String} bound, which is
+// enough to bind methods specialized on neither.
+func TestLoopAccumulatorBound(t *testing.T) {
+	src := `
+class A
+method onInt(x@Int) { x; }
+method main() {
+  var acc := 0;
+  var i := 0;
+  while i < 4 {
+    acc := acc + i;
+    i := i + 1;
+  }
+  onInt(acc);
+}
+`
+	// acc's quick bound is {Int,String} (+ can be either); onInt is
+	// dispatched on @Int, so the product {Int,String} contains String,
+	// which doesn't understand onInt → stays dynamic. This pins the
+	// *conservative* side of the bound.
+	c := compile(t, src, Options{Config: CHA})
+	v := c.General(methodByName(t, c, "main", ""))
+	if got := countNodes[*ir.Send](v.Body); got != 1 {
+		t.Fatalf("onInt(acc) should stay dynamic under the {Int,String} bound: %d sends", got)
+	}
+}
+
+// Nested loops: the inner loop's counter bound must not leak Top into
+// the outer counter.
+func TestNestedLoopCounters(t *testing.T) {
+	src := `
+class V { field n : Int := 0; }
+method at(v@V, i@Int) { v.n + i; }
+method scan2(v@V) {
+  var total := 0;
+  var i := 0;
+  while i < 3 {
+    var j := 0;
+    while j < 3 {
+      total := total + v.at(i) + v.at(j);
+      j := j + 1;
+    }
+    i := i + 1;
+  }
+  total;
+}
+method main() { scan2(new V(1)); }
+`
+	c := compile(t, src, Options{Config: CHA})
+	v := c.General(methodByName(t, c, "scan2", "V"))
+	if got := countNodes[*ir.Send](v.Body); got != 0 {
+		t.Fatalf("nested loop counters lost Int: %d dynamic sends", got)
+	}
+}

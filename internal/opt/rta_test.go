@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"testing"
+
+	"selspec/internal/ir"
+)
+
+// A program with a never-instantiated subclass: plain CHA must keep the
+// send dynamic (Fancy could override behaviour), but instantiation
+// analysis knows no Fancy instance can ever exist.
+const rtaSrc = `
+class Widget
+class Fancy isa Widget
+method draw(w@Widget) { 1; }
+method draw(w@Fancy) { 2; }
+method render(w@Widget) { w.draw(); }
+method main() { render(new Widget()); }
+`
+
+func TestInstantiationAnalysisBindsDeadOverriders(t *testing.T) {
+	plain := compile(t, rtaSrc, Options{Config: CHA})
+	vPlain := plain.General(methodByName(t, plain, "render", "Widget"))
+	if got := countNodes[*ir.Send](vPlain.Body); got != 1 {
+		t.Fatalf("plain CHA should keep draw dynamic: %d sends", got)
+	}
+
+	rta := compile(t, rtaSrc, Options{Config: CHA, InstantiationAnalysis: true})
+	vRTA := rta.General(methodByName(t, rta, "render", "Widget"))
+	if got := countNodes[*ir.Send](vRTA.Body); got != 0 {
+		t.Fatalf("RTA should bind draw (Fancy never instantiated): %d sends", got)
+	}
+}
+
+func TestInstantiationAnalysisRespectsActualNews(t *testing.T) {
+	src := rtaSrc[:len(rtaSrc)-len("method main() { render(new Widget()); }\n")] +
+		"method main() { render(new Widget()); render(new Fancy()); }\n"
+	rta := compile(t, src, Options{Config: CHA, InstantiationAnalysis: true})
+	v := rta.General(methodByName(t, rta, "render", "Widget"))
+	if got := countNodes[*ir.Send](v.Body); got != 1 {
+		t.Fatalf("Fancy IS instantiated here; draw must stay dynamic: %d sends", got)
+	}
+}
+
+func TestInstantiationAnalysisSemanticsPreserved(t *testing.T) {
+	// All builtins remain live: literals and primitives still analyze.
+	src := `
+class A
+method f(x@A) { 40; }
+method main() {
+  var s := "x" + "y";
+  var n := strlen(s);
+  f(new A()) + n;
+}
+`
+	c := compile(t, src, Options{Config: CHA, InstantiationAnalysis: true})
+	v := c.General(methodByName(t, c, "main", ""))
+	// Everything folds/binds; no dynamic sends left.
+	if got := countNodes[*ir.Send](v.Body); got != 0 {
+		t.Fatalf("main still has %d sends", got)
+	}
+}

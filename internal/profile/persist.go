@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"selspec/internal/hier"
+)
+
+// fileFormat is the on-disk JSON representation. Sites and methods are
+// identified by their dense IDs, which are stable for a given source
+// program (lowering assigns them deterministically), so a profile
+// gathered once can be reused across many compilations — the paper
+// observes profiles "remain fairly constant across different inputs"
+// (§3.7.2).
+type fileFormat struct {
+	Version int         `json:"version"`
+	Arcs    []fileArc   `json:"arcs"`
+	Entries []fileEntry `json:"entries,omitempty"`
+}
+
+type fileArc struct {
+	Site   int   `json:"site"`
+	Callee int   `json:"callee"`
+	Weight int64 `json:"weight"`
+}
+
+type fileEntry struct {
+	Method   int     `json:"method"`
+	Tuples   [][]int `json:"tuples,omitempty"`
+	Overflow bool    `json:"overflow,omitempty"`
+}
+
+const formatVersion = 1
+
+// MarshalJSON encodes the call graph.
+func (g *CallGraph) MarshalJSON() ([]byte, error) {
+	ff := fileFormat{Version: formatVersion}
+	for _, a := range g.Arcs() {
+		ff.Arcs = append(ff.Arcs, fileArc{Site: a.Site.ID, Callee: a.Callee.ID, Weight: a.Weight})
+	}
+	for _, m := range g.prog.H.Methods() {
+		if ts := g.Entries(m); ts != nil {
+			ff.Entries = append(ff.Entries, fileEntry{Method: m.ID, Tuples: ts.Tuples, Overflow: ts.Overflow})
+		}
+	}
+	return json.MarshalIndent(ff, "", "  ")
+}
+
+// UnmarshalInto decodes data into a fresh call graph bound to g's
+// program, replacing g's arcs.
+func (g *CallGraph) UnmarshalInto(data []byte) error {
+	var ff fileFormat
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return fmt.Errorf("profile: %v", err)
+	}
+	if ff.Version != formatVersion {
+		return fmt.Errorf("profile: unsupported format version %d", ff.Version)
+	}
+	g.arcs = map[arcKey]*Arc{}
+	g.entries = map[*hier.Method]*tupleSet{}
+	methods := g.prog.H.Methods()
+	for _, fa := range ff.Arcs {
+		if fa.Site < 0 || fa.Site >= len(g.prog.Sites) {
+			return fmt.Errorf("profile: site %d out of range (profile from a different program?)", fa.Site)
+		}
+		if fa.Callee < 0 || fa.Callee >= len(methods) {
+			return fmt.Errorf("profile: method %d out of range (profile from a different program?)", fa.Callee)
+		}
+		if fa.Weight < 0 {
+			return fmt.Errorf("profile: negative weight on site %d", fa.Site)
+		}
+		g.Record(g.prog.Sites[fa.Site], methods[fa.Callee], fa.Weight)
+	}
+	classes := g.prog.H.Classes()
+	for _, fe := range ff.Entries {
+		if fe.Method < 0 || fe.Method >= len(methods) {
+			return fmt.Errorf("profile: entry method %d out of range", fe.Method)
+		}
+		m := methods[fe.Method]
+		if fe.Overflow {
+			g.entries[m] = &tupleSet{overflow: true}
+			continue
+		}
+		for _, ids := range fe.Tuples {
+			cs := make([]*hier.Class, len(ids))
+			for i, id := range ids {
+				if id < 0 || id >= len(classes) {
+					return fmt.Errorf("profile: entry class %d out of range", id)
+				}
+				cs[i] = classes[id]
+			}
+			g.RecordEntry(m, cs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package programs
+
+// Compiler is an optimizing compiler over an expression AST (Table 2:
+// "Compiler, 37,500 lines, optimizing compiler for the Cecil language"
+// — here a compiler of the same shape at reduced size): dispatched
+// constant folding and algebraic simplification through smart
+// constructors (which pass their formals into dispatched predicate
+// sends — prime specialization targets), structural comparison as a
+// multi-method, and stack-machine code generation.
+func Compiler() Benchmark {
+	return Benchmark{
+		Name:        "Compiler",
+		Description: "Optimizing compiler for an expression language",
+		PaperLines:  37500,
+		Source:      compilerSrc,
+		Train:       map[string]int64{"ccDepth": 6, "ccRounds": 300},
+		Test:        map[string]int64{"ccDepth": 7, "ccRounds": 60},
+	}
+}
+
+const compilerSrc = `
+-- Compiler: fold/simplify/codegen passes over an expression AST, each
+-- pass a generic function dispatched on the node class, with smart
+-- constructors doing the algebraic rewriting.
+
+var ccDepth := 6;
+var ccRounds := 25;
+
+class Node
+class NumNode isa Node { field val : Int := 0; }
+class VarNode isa Node { field idx : Int := 0; }
+class BinNode isa Node { field l : Node := nil; field r : Node := nil; }
+class AddNode isa BinNode
+class SubNode isa BinNode
+class MulNode isa BinNode
+class MinNode isa BinNode
+class NegNode isa Node { field x : Node := nil; }
+class LetNode isa Node { field idx : Int := 0; field bound : Node := nil; field body : Node := nil; }
+
+-- Dispatched predicates over nodes.
+method isNum(n@Node) { false; }
+method isNum(n@NumNode) { true; }
+method numVal(n@Node) { abort("numVal on non-constant"); }
+method numVal(n@NumNode) { n.val; }
+method isZero(n@Node) { false; }
+method isZero(n@NumNode) { n.val == 0; }
+method isOne(n@Node) { false; }
+method isOne(n@NumNode) { n.val == 1; }
+
+-- Structural equality, a multi-method on node pairs.
+method sameExpr(a@Node, b@Node) { false; }
+method sameExpr(a@NumNode, b@NumNode) { a.val == b.val; }
+method sameExpr(a@VarNode, b@VarNode) { a.idx == b.idx; }
+method sameExpr(a@AddNode, b@AddNode) { sameExpr(a.l, b.l) && sameExpr(a.r, b.r); }
+method sameExpr(a@SubNode, b@SubNode) { sameExpr(a.l, b.l) && sameExpr(a.r, b.r); }
+method sameExpr(a@MulNode, b@MulNode) { sameExpr(a.l, b.l) && sameExpr(a.r, b.r); }
+method sameExpr(a@MinNode, b@MinNode) { sameExpr(a.l, b.l) && sameExpr(a.r, b.r); }
+method sameExpr(a@NegNode, b@NegNode) { sameExpr(a.x, b.x); }
+
+-- Size metric.
+method nodeSize(n@Node) { 1; }
+method nodeSize(n@BinNode) { 1 + n.l.nodeSize() + n.r.nodeSize(); }
+method nodeSize(n@NegNode) { 1 + n.x.nodeSize(); }
+method nodeSize(n@LetNode) { 1 + n.bound.nodeSize() + n.body.nodeSize(); }
+
+-- Smart constructors: every predicate send below passes a formal
+-- through, so the specializer can produce per-operand-class versions
+-- in which the predicates statically bind and inline away.
+method mkAdd(l@Node, r@Node) {
+  if l.isNum() && r.isNum() { return new NumNode(l.numVal() + r.numVal()); }
+  if l.isZero() { return r; }
+  if r.isZero() { return l; }
+  new AddNode(l, r);
+}
+method mkSub(l@Node, r@Node) {
+  if l.isNum() && r.isNum() { return new NumNode(l.numVal() - r.numVal()); }
+  if r.isZero() { return l; }
+  if sameExpr(l, r) { return new NumNode(0); }
+  new SubNode(l, r);
+}
+method mkMul(l@Node, r@Node) {
+  if l.isNum() && r.isNum() { return new NumNode(l.numVal() * r.numVal()); }
+  if l.isOne() { return r; }
+  if r.isOne() { return l; }
+  if l.isZero() { return l; }
+  if r.isZero() { return r; }
+  new MulNode(l, r);
+}
+method mkMin(l@Node, r@Node) {
+  if l.isNum() && r.isNum() {
+    if l.numVal() < r.numVal() { return l; }
+    return r;
+  }
+  if sameExpr(l, r) { return l; }
+  new MinNode(l, r);
+}
+method negOf(n@Node) {
+  if n.isNum() { return new NumNode(0 - n.numVal()); }
+  new NegNode(n);
+}
+method negOf(n@NegNode) { n.x; }
+
+-- The optimization pass, dispatched per node kind; applied twice (to a
+-- fixpoint for these rules).
+method simp(n@Node) { n; }
+method simp(n@AddNode) { mkAdd(n.l.simp(), n.r.simp()); }
+method simp(n@SubNode) { mkSub(n.l.simp(), n.r.simp()); }
+method simp(n@MulNode) { mkMul(n.l.simp(), n.r.simp()); }
+method simp(n@MinNode) { mkMin(n.l.simp(), n.r.simp()); }
+method simp(n@NegNode) { negOf(n.x.simp()); }
+method simp(n@LetNode) { new LetNode(n.idx, n.bound.simp(), n.body.simp()); }
+
+-- Code generation for a stack machine; the emitter counts
+-- instructions and tracks maximum stack depth.
+class Emitter {
+  field count : Int := 0;
+  field depth : Int := 0;
+  field maxDepth : Int := 0;
+}
+method emitOp(e@Emitter, delta@Int) {
+  e.count := e.count + 1;
+  e.depth := e.depth + delta;
+  if e.depth > e.maxDepth { e.maxDepth := e.depth; }
+}
+
+method gen(n@NumNode, e@Emitter) { e.emitOp(1); }       -- push
+method gen(n@VarNode, e@Emitter) { e.emitOp(1); }       -- loadvar
+method gen(n@AddNode, e@Emitter) { n.l.gen(e); n.r.gen(e); e.emitOp(-1); }
+method gen(n@SubNode, e@Emitter) { n.l.gen(e); n.r.gen(e); e.emitOp(-1); }
+method gen(n@MulNode, e@Emitter) { n.l.gen(e); n.r.gen(e); e.emitOp(-1); }
+method gen(n@MinNode, e@Emitter) { n.l.gen(e); n.r.gen(e); e.emitOp(-1); }
+method gen(n@NegNode, e@Emitter) { n.x.gen(e); e.emitOp(0); }
+method gen(n@LetNode, e@Emitter) {
+  n.bound.gen(e);
+  e.emitOp(-1);                                          -- storevar
+  n.body.gen(e);
+}
+
+-- Evaluator (to validate the optimizer: value preserved by passes).
+method evalNode(n@NumNode, env@Array) { n.val; }
+method evalNode(n@VarNode, env@Array) { aget(env, n.idx); }
+method evalNode(n@AddNode, env@Array) { n.l.evalNode(env) + n.r.evalNode(env); }
+method evalNode(n@SubNode, env@Array) { n.l.evalNode(env) - n.r.evalNode(env); }
+method evalNode(n@MulNode, env@Array) { n.l.evalNode(env) * n.r.evalNode(env); }
+method evalNode(n@MinNode, env@Array) {
+  var l := n.l.evalNode(env);
+  var r := n.r.evalNode(env);
+  if l < r { l; } else { r; }
+}
+method evalNode(n@NegNode, env@Array) { 0 - n.x.evalNode(env); }
+method evalNode(n@LetNode, env@Array) {
+  -- Lexically scoped: restore the shadowed value on exit so dropping a
+  -- dead subtree (e.g. x*0 -> 0) cannot change observable bindings.
+  var old := aget(env, n.idx);
+  aput(env, n.idx, n.bound.evalNode(env));
+  var v := n.body.evalNode(env);
+  aput(env, n.idx, old);
+  v;
+}
+
+-- AST generator.
+class CRand { field seed : Int := 0; }
+method cnext(r@CRand) {
+  r.seed := (r.seed * 1103515245 + 12345) % 2147483648;
+  r.seed;
+}
+method cbelow(r@CRand, n@Int) { r.cnext() % n; }
+
+method genNode(r@CRand, depth@Int) {
+  if depth <= 0 {
+    if r.cbelow(2) == 0 { return new NumNode(r.cbelow(7)); }
+    return new VarNode(r.cbelow(4));
+  }
+  var k := r.cbelow(8);
+  if k == 0 || k == 1 { return new AddNode(genNode(r, depth - 1), genNode(r, depth - 1)); }
+  if k == 2 { return new SubNode(genNode(r, depth - 1), genNode(r, depth - 1)); }
+  if k == 3 || k == 4 { return new MulNode(genNode(r, depth - 1), genNode(r, depth - 1)); }
+  if k == 5 { return new MinNode(genNode(r, depth - 1), genNode(r, depth - 1)); }
+  if k == 6 { return new NegNode(genNode(r, depth - 1)); }
+  new LetNode(r.cbelow(4), genNode(r, depth - 1), genNode(r, depth - 1));
+}
+
+method main() {
+  var r := new CRand(424242);
+  var instrs := 0;
+  var shrink := 0;
+  var checksum := 0;
+  var round := 0;
+  while round < ccRounds {
+    var ast := genNode(r, ccDepth);
+    var before := ast.nodeSize();
+
+    var opt := ast.simp().simp();
+    shrink := shrink + (before - opt.nodeSize());
+
+    -- Optimization must preserve the program's value.
+    var env1 := newarray(4);
+    var env2 := newarray(4);
+    var i := 0;
+    while i < 4 { aput(env1, i, i + 1); aput(env2, i, i + 1); i := i + 1; }
+    var v1 := ast.evalNode(env1);
+    var v2 := opt.evalNode(env2);
+    if v1 != v2 { abort("optimizer changed program value"); }
+    checksum := (checksum + v1) % 1000003;
+    if checksum < 0 { checksum := checksum + 1000003; }
+
+    var e := new Emitter(0, 0, 0);
+    opt.gen(e);
+    instrs := instrs + e.count;
+    round := round + 1;
+  }
+  println("instrs=" + str(instrs) + " shrink=" + str(shrink) + " checksum=" + str(checksum));
+  instrs;
+}
+`

@@ -1,0 +1,232 @@
+package programs
+
+// InstSched is a MIPS-style assembly instruction scheduler (Table 2:
+// "InstSched, 2,400 lines, a MIPS assembly code instruction
+// scheduler"): a synthetic instruction stream is generated, a pairwise
+// dependence graph is built with multi-method conflict tests, and a
+// priority list scheduler fills issue slots respecting latencies.
+func InstSched() Benchmark {
+	return Benchmark{
+		Name:        "InstSched",
+		Description: "A MIPS assembly code instruction scheduler",
+		PaperLines:  2400,
+		Source:      instSchedSrc,
+		Train:       map[string]int64{"schedInstrs": 60, "schedBlocks": 6},
+		Test:        map[string]int64{"schedInstrs": 110, "schedBlocks": 14},
+	}
+}
+
+const instSchedSrc = `
+-- InstSched: list scheduler over a synthetic MIPS-like instruction
+-- stream. The instruction kinds form a class hierarchy and the
+-- dependence tests are multi-methods.
+
+var schedInstrs := 60;   -- instructions per basic block
+var schedBlocks := 6;    -- number of basic blocks to schedule
+
+-- Deterministic linear congruential generator.
+class Rand { field seed : Int := 1; }
+method next(r@Rand) {
+  r.seed := (r.seed * 1103515245 + 12345) % 2147483648;
+  r.seed;
+}
+method nextBelow(r@Rand, n@Int) { r.next() % n; }
+
+-- Instruction hierarchy.
+class Instr {
+  field num : Int := 0;
+  field dest : Int := 0;   -- destination register (-1: none)
+  field src1 : Int := 0;   -- source register (-1: none)
+  field src2 : Int := 0;
+}
+class ArithInstr isa Instr
+class AddInstr isa ArithInstr
+class MulInstr isa ArithInstr
+class DivInstr isa ArithInstr
+class MemInstr isa Instr { field addrReg : Int := 0; }
+class LoadInstr isa MemInstr
+class StoreInstr isa MemInstr
+class BranchInstr isa Instr
+class NopInstr isa Instr
+
+-- Latencies per instruction kind (single dispatch).
+method latency(i@Instr) { 1; }
+method latency(i@MulInstr) { 4; }
+method latency(i@DivInstr) { 12; }
+method latency(i@LoadInstr) { 3; }
+
+-- Classification predicates, factored in the abstract superclass and
+-- overridden in subclasses (the style the paper's §2 motivates).
+method writesReg(i@Instr) { i.dest >= 0; }
+method writesReg(i@StoreInstr) { false; }
+method writesReg(i@BranchInstr) { false; }
+method writesReg(i@NopInstr) { false; }
+method readsMem(i@Instr) { false; }
+method readsMem(i@LoadInstr) { true; }
+method writesMem(i@Instr) { false; }
+method writesMem(i@StoreInstr) { true; }
+method isBarrier(i@Instr) { false; }
+method isBarrier(i@BranchInstr) { true; }
+
+method usesReg(i@Instr, r@Int) {
+  i.src1 == r || i.src2 == r;
+}
+method usesReg(i@MemInstr, r@Int) {
+  i.src1 == r || i.src2 == r || i.addrReg == r;
+}
+
+-- Dependence test between an earlier instruction a and a later
+-- instruction b: multi-method over the two instruction kinds.
+method depends(a@Instr, b@Instr) {
+  -- RAW: b reads a register a writes.
+  if a.writesReg() && b.usesReg(a.dest) { return true; }
+  -- WAR: b writes a register a reads.
+  if b.writesReg() && a.usesReg(b.dest) { return true; }
+  -- WAW: both write the same register.
+  if a.writesReg() && b.writesReg() && a.dest == b.dest { return true; }
+  false;
+}
+method depends(a@StoreInstr, b@LoadInstr) { true; }   -- store→load: conservative memory dep
+method depends(a@StoreInstr, b@StoreInstr) { true; }  -- store→store
+method depends(a@LoadInstr, b@StoreInstr) { true; }   -- load→store
+method depends(a@BranchInstr, b@Instr) { true; }      -- nothing moves below a branch...
+method depends(a@Instr, b@BranchInstr) { true; }      -- ...or above it
+method depends(a@BranchInstr, b@BranchInstr) { true; }
+
+-- A basic block holds its instructions plus scheduling state.
+class Block {
+  field instrs : Array := nil;   -- array of Instr
+  field n : Int := 0;
+  field preds : Array := nil;    -- preds[i] = number of unscheduled predecessors
+  field succs : Array := nil;    -- succs[i] = array of successor indexes
+  field nsuccs : Array := nil;
+  field height : Array := nil;   -- critical-path height
+  field ready : Array := nil;    -- earliest issue cycle per instruction
+}
+
+method genInstr(r@Rand, num@Int) {
+  var kind := r.nextBelow(10);
+  var dest := r.nextBelow(8);
+  var s1 := r.nextBelow(8);
+  var s2 := r.nextBelow(8);
+  var addr := r.nextBelow(8);
+  if kind < 3 { return new AddInstr(num, dest, s1, s2); }
+  if kind < 5 { return new MulInstr(num, dest, s1, s2); }
+  if kind == 5 { return new DivInstr(num, dest, s1, s2); }
+  if kind < 8 { return new LoadInstr(num, dest, s1, -1, addr); }
+  if kind == 8 { return new StoreInstr(num, -1, s1, s2, addr); }
+  new BranchInstr(num, -1, s1, -1);
+}
+
+method mkblock(r@Rand, n@Int) {
+  var instrs := newarray(n);
+  var i := 0;
+  while i < n { aput(instrs, i, genInstr(r, i)); i := i + 1; }
+  var b := new Block(instrs, n, newarray(n), newarray(n), newarray(n), newarray(n), newarray(n));
+  i := 0;
+  while i < n {
+    aput(b.preds, i, 0);
+    aput(b.succs, i, newarray(n));
+    aput(b.nsuccs, i, 0);
+    aput(b.height, i, 0);
+    aput(b.ready, i, 0);
+    i := i + 1;
+  }
+  b;
+}
+
+-- Build the dependence graph: O(n^2) pairwise multi-method tests (the
+-- hot dispatching loop of this benchmark).
+method buildDeps(b@Block) {
+  var i := 0;
+  while i < b.n {
+    var a := aget(b.instrs, i);
+    var j := i + 1;
+    while j < b.n {
+      var c := aget(b.instrs, j);
+      if depends(a, c) {
+        var sl := aget(b.succs, i);
+        aput(sl, aget(b.nsuccs, i), j);
+        aput(b.nsuccs, i, aget(b.nsuccs, i) + 1);
+        aput(b.preds, j, aget(b.preds, j) + 1);
+      }
+      j := j + 1;
+    }
+    i := i + 1;
+  }
+}
+
+-- Critical-path heights, computed backwards.
+method computeHeights(b@Block) {
+  var i := b.n - 1;
+  while i >= 0 {
+    var h := latency(aget(b.instrs, i));
+    var k := 0;
+    while k < aget(b.nsuccs, i) {
+      var succ := aget(aget(b.succs, i), k);
+      var cand := latency(aget(b.instrs, i)) + aget(b.height, succ);
+      if cand > h { h := cand; }
+      k := k + 1;
+    }
+    aput(b.height, i, h);
+    i := i - 1;
+  }
+}
+
+-- Priority list scheduling: at each cycle issue the ready instruction
+-- with the greatest height; returns the schedule length.
+method listSchedule(b@Block) {
+  var scheduled := newarray(b.n);
+  var i := 0;
+  while i < b.n { aput(scheduled, i, false); i := i + 1; }
+  var remaining := b.n;
+  var cycle := 0;
+  var lastCycle := 0;
+  while remaining > 0 {
+    -- pick the ready instruction with max height
+    var best := -1;
+    var bestH := -1;
+    i := 0;
+    while i < b.n {
+      if !aget(scheduled, i) && aget(b.preds, i) == 0 && aget(b.ready, i) <= cycle {
+        if aget(b.height, i) > bestH {
+          bestH := aget(b.height, i);
+          best := i;
+        }
+      }
+      i := i + 1;
+    }
+    if best == -1 {
+      cycle := cycle + 1;
+    } else {
+      aput(scheduled, best, true);
+      remaining := remaining - 1;
+      var fin := cycle + latency(aget(b.instrs, best));
+      if fin > lastCycle { lastCycle := fin; }
+      var k := 0;
+      while k < aget(b.nsuccs, best) {
+        var succ := aget(aget(b.succs, best), k);
+        aput(b.preds, succ, aget(b.preds, succ) - 1);
+        if fin > aget(b.ready, succ) { aput(b.ready, succ, fin); }
+        k := k + 1;
+      }
+    }
+  }
+  lastCycle;
+}
+
+method main() {
+  var r := new Rand(20260705);
+  var total := 0;
+  var blk := 0;
+  while blk < schedBlocks {
+    var b := mkblock(r, schedInstrs);
+    b.buildDeps();
+    b.computeHeights();
+    total := total + b.listSchedule();
+    blk := blk + 1;
+  }
+  println("total schedule length=" + str(total));
+  total;
+}
+`

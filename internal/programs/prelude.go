@@ -1,0 +1,273 @@
+package programs
+
+// Prelude is a small Mini-Cecil standard library in the style the
+// paper's benchmarks were built on (each Cecil program linked an
+// 8,500-line standard library): an abstract Collection protocol whose
+// generic operations (contains, fold, map, filter, …) are factored
+// into the superclass and implemented via the dispatched do/size
+// methods of each concrete representation — precisely the code shape
+// §2 of the paper argues both needs and rewards specialization.
+//
+// Programs can prepend it with WithPrelude(src).
+const Prelude = `
+-- ======================= Mini-Cecil prelude =======================
+
+class Pair { field first := nil; field second := nil; }
+
+-- Abstract collection protocol: subclasses implement do/2 and size/1.
+class Collection
+
+method isEmpty(c@Collection) { c.size() == 0; }
+
+method contains(c@Collection, x) {
+  c.do(fn(e) { if e == x { return true; } });
+  false;
+}
+
+method countWhere(c@Collection, pred) {
+  var n := 0;
+  c.do(fn(e) { if pred(e) { n := n + 1; } });
+  n;
+}
+
+method foldLeft(c@Collection, acc, f) {
+  var a := acc;
+  c.do(fn(e) { a := f(a, e); });
+  a;
+}
+
+method sumOf(c@Collection) {
+  c.foldLeft(0, fn(a, e) { a + e; });
+}
+
+method maxOf(c@Collection, least) {
+  c.foldLeft(least, fn(a, e) { if e > a { e; } else { a; } });
+}
+
+method anySatisfies(c@Collection, pred) {
+  c.do(fn(e) { if pred(e) { return true; } });
+  false;
+}
+
+method allSatisfy(c@Collection, pred) {
+  c.do(fn(e) { if !pred(e) { return false; } });
+  true;
+}
+
+method mapTo(c@Collection, f) {
+  var out := mkvector();
+  c.do(fn(e) { out.vpush(f(e)); });
+  out;
+}
+
+method filterTo(c@Collection, pred) {
+  var out := mkvector();
+  c.do(fn(e) { if pred(e) { out.vpush(e); } });
+  out;
+}
+
+method joinStrings(c@Collection, sep) {
+  var s := "";
+  var firstItem := true;
+  c.do(fn(e) {
+    if firstItem { firstItem := false; } else { s := s + sep; }
+    s := s + str(e);
+  });
+  s;
+}
+
+-- Singly-linked list.
+class Cons { field val := nil; field next := nil; }
+class LinkedList isa Collection { field head := nil; field len : Int := 0; }
+
+method mklist() { new LinkedList(nil, 0); }
+method push(l@LinkedList, x) {
+  l.head := new Cons(x, l.head);
+  l.len := l.len + 1;
+  l;
+}
+method size(l@LinkedList) { l.len; }
+method do(l@LinkedList, body) {
+  var c := l.head;
+  while c != nil {
+    body(c.val);
+    c := c.next;
+  }
+}
+method reverseTo(l@LinkedList) {
+  var out := mklist();
+  l.do(fn(e) { out.push(e); });
+  out;
+}
+
+-- Growable vector.
+class Vector isa Collection { field elems : Array := newarray(4); field n : Int := 0; }
+
+method mkvector() { new Vector(newarray(4), 0); }
+method vpush(v@Vector, x) {
+  if v.n == alen(v.elems) {
+    var bigger := newarray(alen(v.elems) * 2);
+    var i := 0;
+    while i < v.n { aput(bigger, i, aget(v.elems, i)); i := i + 1; }
+    v.elems := bigger;
+  }
+  aput(v.elems, v.n, x);
+  v.n := v.n + 1;
+  v;
+}
+method size(v@Vector) { v.n; }
+method at(v@Vector, i@Int) {
+  if i < 0 || i >= v.n { abort("Vector index " + str(i) + " out of range"); }
+  aget(v.elems, i);
+}
+method atPut(v@Vector, i@Int, x) {
+  if i < 0 || i >= v.n { abort("Vector index " + str(i) + " out of range"); }
+  aput(v.elems, i, x);
+  x;
+}
+method do(v@Vector, body) {
+  var i := 0;
+  while i < v.n {
+    body(aget(v.elems, i));
+    i := i + 1;
+  }
+}
+-- In-place insertion sort with a comparison closure.
+method sortBy(v@Vector, lessThan) {
+  var i := 1;
+  while i < v.n {
+    var x := v.at(i);
+    var j := i - 1;
+    var moving := true;
+    while moving {
+      if j >= 0 {
+        var y := v.at(j);
+        if lessThan(x, y) {
+          v.atPut(j + 1, y);
+          j := j - 1;
+        } else { moving := false; }
+      } else { moving := false; }
+    }
+    v.atPut(j + 1, x);
+    i := i + 1;
+  }
+  v;
+}
+
+-- Association dictionary over a vector of Pairs.
+class Dict isa Collection { field pairs : Vector := nil; }
+
+method mkdict() { new Dict(mkvector()); }
+method size(d@Dict) { d.pairs.size(); }
+method do(d@Dict, body) { d.pairs.do(body); }
+method dput(d@Dict, k, val) {
+  var found := false;
+  d.pairs.do(fn(p) { if p.first == k { p.second := val; found := true; } });
+  if !found { d.pairs.vpush(new Pair(k, val)); }
+  d;
+}
+method dget(d@Dict, k, dflt) {
+  d.pairs.do(fn(p) { if p.first == k { return p.second; } });
+  dflt;
+}
+method dhas(d@Dict, k) {
+  d.pairs.anySatisfies(fn(p) { p.first == k; });
+}
+
+-- Integer ranges [lo, hi).
+class Range isa Collection { field lo : Int := 0; field hi : Int := 0; }
+
+method mkrange(lo@Int, hi@Int) { new Range(lo, hi); }
+method size(r@Range) {
+  if r.hi > r.lo { r.hi - r.lo; } else { 0; }
+}
+method do(r@Range, body) {
+  var i := r.lo;
+  while i < r.hi {
+    body(i);
+    i := i + 1;
+  }
+}
+
+-- Small numeric helpers.
+method absInt(x@Int) { if x < 0 { 0 - x; } else { x; } }
+method minInt(a@Int, b@Int) { if a < b { a; } else { b; } }
+method maxInt(a@Int, b@Int) { if a > b { a; } else { b; } }
+
+-- ===================== end of prelude =====================
+`
+
+// WithPrelude prepends the standard library to a program source.
+func WithPrelude(src string) string { return Prelude + "\n" + src }
+
+// Collections is a library-exercise program: it drives every prelude
+// collection through the generic Collection protocol, the situation in
+// which class hierarchy analysis alone cannot bind do/size (three
+// implementations each) but selective specialization can, per concrete
+// collection class.
+func Collections() Benchmark {
+	return Benchmark{
+		Name:        "Collections",
+		Description: "Standard-library collections exercised through the abstract protocol",
+		PaperLines:  8500, // the paper's standard library, for context
+		Source:      collectionsSrc,
+		Train:       map[string]int64{"colSize": 40, "colReps": 800},
+		Test:        map[string]int64{"colSize": 90, "colReps": 60},
+	}
+}
+
+var collectionsSrc = WithPrelude(`
+var colSize := 60;
+var colReps := 30;
+
+-- Polymorphic workload: the same generic pipeline over all three
+-- concrete collections, via the abstract protocol.
+method pipeline(c@Collection) {
+  var evens := c.filterTo(fn(x) { x % 2 == 0; });
+  var doubled := evens.mapTo(fn(x) { x * 2; });
+  var total := doubled.sumOf();
+  var top := doubled.maxOf(-1000000);
+  total + top + c.countWhere(fn(x) { x % 3 == 0; });
+}
+
+method buildList(n@Int) {
+  var l := mklist();
+  mkrange(0, n).do(fn(i) { l.push(i * 7 % 50); });
+  l;
+}
+method buildVector(n@Int) {
+  var v := mkvector();
+  mkrange(0, n).do(fn(i) { v.vpush(i * 13 % 50); });
+  v;
+}
+
+method main() {
+  var acc := 0;
+  var r := 0;
+  while r < colReps {
+    var l := buildList(colSize);
+    var v := buildVector(colSize);
+    var rng := mkrange(0, colSize);
+
+    acc := acc + pipeline(l) + pipeline(v) + pipeline(rng);
+
+    -- Dictionary churn through the same generic protocol.
+    var d := mkdict();
+    rng.do(fn(i) { d.dput(i % 11, i); });
+    acc := acc + d.size() + d.dget(3, -1) + d.dget(99, -7);
+
+    -- Sorting with a closure comparator.
+    var sorted := v.filterTo(fn(x) { x < 25; }).sortBy(fn(a, b) { a < b; });
+    if sorted.size() > 1 {
+      if !(sorted.at(0) <= sorted.at(sorted.size() - 1)) { abort("sort broken"); }
+    }
+    acc := acc + sorted.size();
+
+    if l.contains(7) { acc := acc + 1; }
+    if v.isEmpty() { abort("vector empty?"); }
+    r := r + 1;
+  }
+  println("acc=" + str(acc));
+  acc;
+}
+`)

@@ -1,0 +1,406 @@
+// Package programs embeds the Mini-Cecil benchmark programs used to
+// reproduce the paper's Table 2 suite: Richards (operating-system task
+// queue simulation), InstSched (a MIPS-style instruction scheduler),
+// Typechecker (a typechecker for a small functional language) and
+// Compiler (an optimizing AST compiler) — plus the §2 Set example.
+//
+// Each program declares an input-size global that the harness overrides
+// to switch between the training input (profile gathering) and the
+// measurement input, mirroring the paper's methodology ("we used one
+// set of inputs ... for gathering the profiles and a different set of
+// inputs for measuring").
+package programs
+
+// Benchmark describes one embedded benchmark program.
+type Benchmark struct {
+	Name        string
+	Description string
+	PaperLines  int // source lines reported in the paper's Table 2
+	Source      string
+	// Train/Test override the program's input-size globals for the
+	// profiling run and the measurement run.
+	Train map[string]int64
+	Test  map[string]int64
+}
+
+// All returns the four paper benchmarks in Table 2 order.
+func All() []Benchmark {
+	return []Benchmark{Richards(), InstSched(), Typechecker(), Compiler()}
+}
+
+// ByName finds a benchmark by (case-sensitive) name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Richards is the classic operating-system task queue simulation
+// (Table 2: "Richards, 400 lines, operating system task queue
+// simulation"), ported to Mini-Cecil with the task kinds as a class
+// hierarchy and the run/decision logic as dispatched methods.
+func Richards() Benchmark {
+	return Benchmark{
+		Name:        "Richards",
+		Description: "Operating system task queue simulation",
+		PaperLines:  400,
+		Source:      richardsSrc,
+		Train:       map[string]int64{"richardsCount": 1500},
+		Test:        map[string]int64{"richardsCount": 700},
+	}
+}
+
+const richardsSrc = `
+-- Richards: OS task-queue simulation (Mini-Cecil port).
+-- Task kinds are classes; scheduler decisions are dispatched methods.
+
+var richardsCount := 180;
+
+var ID_IDLE      := 0;
+var ID_WORKER    := 1;
+var ID_HANDLER_A := 2;
+var ID_HANDLER_B := 3;
+var ID_DEVICE_A  := 4;
+var ID_DEVICE_B  := 5;
+
+var KIND_DEVICE := 0;
+var KIND_WORK   := 1;
+
+var STATE_RUNNING   := 0;
+var STATE_RUNNABLE  := 1;
+var STATE_SUSPENDED := 2;
+var STATE_HELD      := 4;
+var STATE_SUSPENDED_RUNNABLE := 3;
+var STATE_NOT_HELD  := 3;
+
+var DATA_SIZE := 4;
+
+-- Bitwise helpers (the language has no bit operators).
+method bitand(a@Int, b@Int) {
+  var r := 0;
+  var bit := 1;
+  var x := a;
+  var y := b;
+  while x > 0 && y > 0 {
+    if x % 2 == 1 && y % 2 == 1 { r := r + bit; }
+    x := x / 2;
+    y := y / 2;
+    bit := bit * 2;
+  }
+  r;
+}
+method bitor(a@Int, b@Int) {
+  var r := 0;
+  var bit := 1;
+  var x := a;
+  var y := b;
+  while x > 0 || y > 0 {
+    if x % 2 == 1 || y % 2 == 1 { r := r + bit; }
+    x := x / 2;
+    y := y / 2;
+    bit := bit * 2;
+  }
+  r;
+}
+method bitxor(a@Int, b@Int) {
+  var r := 0;
+  var bit := 1;
+  var x := a;
+  var y := b;
+  while x > 0 || y > 0 {
+    if (x + y) % 2 == 1 { r := r + bit; }
+    x := x / 2;
+    y := y / 2;
+    bit := bit * 2;
+  }
+  r;
+}
+
+-- Packet kinds are classes (rather than a kind field), in the
+-- dispatched style the paper's benchmarks use.
+class Packet {
+  field link := nil;          -- nilable: next packet in queue
+  field id : Int := 0;
+  field a1 : Int := 0;
+  field a2 : Array := newarray(4);
+}
+class WorkPacket isa Packet
+class DevicePacket isa Packet
+
+method isWork(p@Packet) { false; }
+method isWork(p@WorkPacket) { true; }
+
+method mkpacket(link, id@Int, kind@Int) {
+  if kind == KIND_WORK { return new WorkPacket(link, id, 0, newarray(DATA_SIZE)); }
+  new DevicePacket(link, id, 0, newarray(DATA_SIZE));
+}
+
+-- Append self to the end of queue, returning the new queue head.
+method addTo(p@Packet, queue) {
+  p.link := nil;
+  if queue == nil { return p; }
+  var peek := queue;
+  var next := peek.link;
+  while next != nil {
+    peek := next;
+    next := peek.link;
+  }
+  peek.link := p;
+  queue;
+}
+
+class Scheduler {
+  field queueCount : Int := 0;
+  field holdCount : Int := 0;
+  field blocks : Array := newarray(6);
+  field list := nil;          -- nilable TCB list head
+  field currentTcb := nil;    -- nilable
+  field currentId : Int := 0;
+}
+
+class TaskControlBlock {
+  field link := nil;          -- nilable
+  field id : Int := 0;
+  field priority : Int := 0;
+  field queue := nil;         -- nilable packet queue
+  field task : Task := nil;   -- always a Task instance
+  field state : Int := 0;
+}
+
+-- The task hierarchy. The intermediate SystemTask/UserTask layers
+-- carry shared utilities — under plain customization every one of
+-- these gets copied per concrete class (the paper's overspecialization).
+class Task { field scheduler : Scheduler := nil; }
+class SystemTask isa Task
+class UserTask isa Task
+class IdleTask isa SystemTask { field v1 : Int := 0; field count : Int := 0; }
+class DeviceTask isa SystemTask { field v1 := nil; }
+class WorkerTask isa UserTask { field v1 : Int := 0; field v2 : Int := 0; }
+class HandlerTask isa UserTask { field v1 := nil; field v2 := nil; }
+
+-- Shared utilities on the abstract layers.
+method kindName(t@Task) { "task"; }
+method kindName(t@SystemTask) { "system"; }
+method kindName(t@UserTask) { "user"; }
+method isUserWork(t@Task) { false; }
+method isUserWork(t@UserTask) { true; }
+method sched(t@Task) { t.scheduler; }
+
+method mkscheduler() {
+  new Scheduler(0, 0, newarray(6), nil, nil, 0);
+}
+
+method addTCB(s@Scheduler, id@Int, priority@Int, queue, task@Task) {
+  var state := STATE_SUSPENDED_RUNNABLE;
+  if queue == nil { state := STATE_SUSPENDED; }
+  var tcb := new TaskControlBlock(s.list, id, priority, queue, task, state);
+  s.list := tcb;
+  aput(s.blocks, id, tcb);
+  tcb;
+}
+
+method addIdleTask(s@Scheduler, id@Int, priority@Int, queue, count@Int) {
+  var tcb := s.addTCB(id, priority, queue, new IdleTask(s, 1, count));
+  tcb.state := STATE_RUNNING;
+  tcb;
+}
+method addWorkerTask(s@Scheduler, id@Int, priority@Int, queue) {
+  s.addTCB(id, priority, queue, new WorkerTask(s, ID_HANDLER_A, 0));
+}
+method addHandlerTask(s@Scheduler, id@Int, priority@Int, queue) {
+  s.addTCB(id, priority, queue, new HandlerTask(s, nil, nil));
+}
+method addDeviceTask(s@Scheduler, id@Int, priority@Int, queue) {
+  s.addTCB(id, priority, queue, new DeviceTask(s, nil));
+}
+
+-- TCB state transitions.
+method setRunning(t@TaskControlBlock) { t.state := STATE_RUNNING; }
+method markAsNotHeld(t@TaskControlBlock) { t.state := bitand(t.state, STATE_NOT_HELD); }
+method markAsHeld(t@TaskControlBlock) { t.state := bitor(t.state, STATE_HELD); }
+method isHeldOrSuspended(t@TaskControlBlock) {
+  bitand(t.state, STATE_HELD) != 0 || t.state == STATE_SUSPENDED;
+}
+method markAsSuspended(t@TaskControlBlock) { t.state := bitor(t.state, STATE_SUSPENDED); }
+method markAsRunnable(t@TaskControlBlock) { t.state := bitor(t.state, STATE_RUNNABLE); }
+
+-- Run the TCB: pop a pending packet if runnable, then dispatch to the
+-- task-kind-specific run method (the hot dynamic dispatch).
+method runTCB(t@TaskControlBlock) {
+  var packet := nil;
+  if t.state == STATE_SUSPENDED_RUNNABLE {
+    packet := t.queue;
+    t.queue := packet.link;
+    if t.queue == nil { t.state := STATE_RUNNING; }
+    else { t.state := STATE_RUNNABLE; }
+  }
+  run(t.task, packet);
+}
+
+method checkPriorityAdd(t@TaskControlBlock, task@TaskControlBlock, packet@Packet) {
+  if t.queue == nil {
+    t.queue := packet;
+    t.markAsRunnable();
+    if t.priority > task.priority { return t; }
+  } else {
+    t.queue := packet.addTo(t.queue);
+  }
+  task;
+}
+
+-- One scheduling step over a known TCB: class hierarchy analysis can
+-- statically bind the sends on the tcb formal here.
+method scheduleStep(s@Scheduler, tcb@TaskControlBlock) {
+  if tcb.isHeldOrSuspended() { return tcb.link; }
+  s.currentId := tcb.id;
+  s.currentTcb := tcb;
+  tcb.runTCB();
+}
+
+method schedule(s@Scheduler) {
+  var tcb := s.list;
+  while tcb != nil {
+    tcb := s.scheduleStep(tcb);
+  }
+}
+
+method holdCurrent(s@Scheduler) {
+  s.holdCount := s.holdCount + 1;
+  var cur := s.currentTcb;
+  cur.markAsHeld();
+  cur.link;
+}
+
+method release(s@Scheduler, id@Int) {
+  var tcb := aget(s.blocks, id);
+  if tcb == nil { return tcb; }
+  tcb.markAsNotHeld();
+  if tcb.priority > s.currentTcb.priority { return tcb; }
+  s.currentTcb;
+}
+
+method suspendCurrent(s@Scheduler) {
+  var cur := s.currentTcb;
+  cur.markAsSuspended();
+  cur;
+}
+
+method queuePacket(s@Scheduler, packet@Packet) {
+  var t := aget(s.blocks, packet.id);
+  if t == nil { return t; }
+  s.queueCount := s.queueCount + 1;
+  packet.link := nil;
+  packet.id := s.currentId;
+  t.checkPriorityAdd(s.currentTcb, packet);
+}
+
+-- Task-kind run methods: the multi-way dispatch the benchmark exists
+-- to exercise. The packet argument is nilable, hence unspecialized.
+method run(t@IdleTask, packet) {
+  var s := t.sched();
+  t.count := t.count - 1;
+  if t.count == 0 { return s.holdCurrent(); }
+  if t.v1 % 2 == 0 {
+    t.v1 := t.v1 / 2;
+    return s.release(ID_DEVICE_A);
+  }
+  t.v1 := bitxor(t.v1 / 2, 53256);
+  s.release(ID_DEVICE_B);
+}
+
+method run(t@DeviceTask, packet) {
+  var s := t.sched();
+  if packet == nil {
+    if t.v1 == nil { return s.suspendCurrent(); }
+    var v := t.v1;
+    t.v1 := nil;
+    return s.queuePacket(v);
+  }
+  t.v1 := packet;
+  s.holdCurrent();
+}
+
+method run(t@WorkerTask, packet) {
+  var s := t.sched();
+  if packet == nil { return s.suspendCurrent(); }
+  if t.v1 == ID_HANDLER_A { t.v1 := ID_HANDLER_B; }
+  else { t.v1 := ID_HANDLER_A; }
+  packet.id := t.v1;
+  packet.a1 := 0;
+  var i := 0;
+  while i < DATA_SIZE {
+    t.v2 := t.v2 + 1;
+    if t.v2 > 26 { t.v2 := 1; }
+    aput(packet.a2, i, t.v2);
+    i := i + 1;
+  }
+  s.queuePacket(packet);
+}
+
+method run(t@HandlerTask, packet) {
+  var s := t.sched();
+  if packet != nil {
+    if packet.isWork() { t.v1 := packet.addTo(t.v1); }
+    else { t.v2 := packet.addTo(t.v2); }
+  }
+  if t.v1 != nil {
+    var count := t.v1.a1;
+    if count < DATA_SIZE {
+      if t.v2 != nil {
+        var v := t.v2;
+        t.v2 := v.link;
+        v.a1 := aget(t.v1.a2, count);
+        t.v1.a1 := count + 1;
+        return s.queuePacket(v);
+      }
+    } else {
+      var v := t.v1;
+      t.v1 := v.link;
+      return s.queuePacket(v);
+    }
+  }
+  s.suspendCurrent();
+}
+
+method main() {
+  var s := mkscheduler();
+  s.addIdleTask(ID_IDLE, 0, nil, richardsCount);
+
+  var q := mkpacket(nil, ID_WORKER, KIND_WORK);
+  q := mkpacket(q, ID_WORKER, KIND_WORK);
+  s.addWorkerTask(ID_WORKER, 1000, q);
+
+  q := mkpacket(nil, ID_DEVICE_A, KIND_DEVICE);
+  q := mkpacket(q, ID_DEVICE_A, KIND_DEVICE);
+  q := mkpacket(q, ID_DEVICE_A, KIND_DEVICE);
+  s.addHandlerTask(ID_HANDLER_A, 2000, q);
+
+  q := mkpacket(nil, ID_DEVICE_B, KIND_DEVICE);
+  q := mkpacket(q, ID_DEVICE_B, KIND_DEVICE);
+  q := mkpacket(q, ID_DEVICE_B, KIND_DEVICE);
+  s.addHandlerTask(ID_HANDLER_B, 3000, q);
+
+  s.addDeviceTask(ID_DEVICE_A, 4000, nil);
+  s.addDeviceTask(ID_DEVICE_B, 5000, nil);
+
+  s.schedule();
+
+  -- Walk the task list once with the shared utilities (cheap at run
+  -- time, but customization still clones them per concrete class).
+  var users := 0;
+  var names := "";
+  var t := s.list;
+  while t != nil {
+    if t.task.isUserWork() { users := users + 1; }
+    names := names + t.task.kindName() + " ";
+    t := t.link;
+  }
+
+  println("queueCount=" + str(s.queueCount) + " holdCount=" + str(s.holdCount)
+          + " users=" + str(users));
+  s.queueCount * 100000 + s.holdCount;
+}
+`

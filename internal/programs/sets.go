@@ -1,0 +1,110 @@
+package programs
+
+// Sets returns the paper's §2 motivating example: a Set hierarchy whose
+// generic operations (overlaps, includes) are factored into an abstract
+// superclass and implemented via closure-based iteration (do), with
+// more efficient overriding implementations in some subclasses. It is
+// small but exhibits every phenomenon the paper discusses: receiver
+// customization (do), argument specialization (set2 in overlaps),
+// closure elimination, non-local return, and CHA-bindable helpers.
+func Sets() Benchmark {
+	return Benchmark{
+		Name:        "Sets",
+		Description: "The paper's §2 Set-hierarchy example",
+		PaperLines:  0, // illustrative example, not in Table 2
+		Source:      setsSrc,
+		Train:       map[string]int64{"setSize": 8, "setReps": 30},
+		Test:        map[string]int64{"setSize": 14, "setReps": 60},
+	}
+}
+
+const setsSrc = `
+-- The Set example from §2 of the paper.
+
+var setSize := 8;
+var setReps := 30;
+
+class Set { field elems := nil; field n := 0; }
+class ListSet isa Set
+class HashSet isa Set
+class BitSet isa Set { field bits := 0; }
+
+method mkset(kind, cap) {
+  var s := nil;
+  if kind == 0 { s := new ListSet(newarray(cap), 0); }
+  else { if kind == 1 { s := new HashSet(newarray(cap), 0); }
+  else { s := new BitSet(newarray(cap), 0, 0); } }
+  s;
+}
+
+method add(s@Set, e) {
+  aput(s.elems, s.n, e);
+  s.n := s.n + 1;
+  s;
+}
+
+method size(s@Set) { s.n; }
+method isEmpty(s@Set) { s.size() == 0; }
+
+method do(s@ListSet, body) {
+  var i := 0;
+  while i < s.n { body(aget(s.elems, i)); i := i + 1; }
+}
+method do(s@HashSet, body) {
+  var i := 0;
+  while i < s.n { body(aget(s.elems, i)); i := i + 1; }
+}
+method do(s@BitSet, body) {
+  var i := 0;
+  while i < s.n { body(aget(s.elems, i)); i := i + 1; }
+}
+
+-- "A default includes implementation; subclasses can override to
+-- provide a more efficient implementation."
+method includes(s@Set, e) {
+  s.do(fn(x) { if x == e { return true; } });
+  false;
+}
+method includes(s@HashSet, e) {
+  var i := 0;
+  var found := false;
+  while i < s.n { if aget(s.elems, i) == e { found := true; i := s.n; } else { i := i + 1; } }
+  found;
+}
+method includes(s@BitSet, e) {
+  var i := 0;
+  var found := false;
+  while i < s.n { if aget(s.elems, i) == e { found := true; i := s.n; } else { i := i + 1; } }
+  found;
+}
+
+method overlaps(s1@Set, s2@Set) {
+  if s1.isEmpty() || s2.isEmpty() { return false; }
+  s1.do(fn(elem) { if s2.includes(elem) { return true; } });
+  false;
+}
+
+method main() {
+  var total := 0;
+  var kinds := 3;
+  var k1 := 0;
+  while k1 < kinds {
+    var k2 := 0;
+    while k2 < kinds {
+      var a := mkset(k1, setSize);
+      var b := mkset(k2, setSize);
+      var i := 0;
+      while i < setSize { a.add(i * 2); b.add(i * 3 + 1); i := i + 1; }
+      var reps := 0;
+      while reps < setReps {
+        if a.overlaps(b) { total := total + 1; }
+        reps := reps + 1;
+      }
+      k2 := k2 + 1;
+    }
+    k1 := k1 + 1;
+  }
+  println("overlapping pairs counted: " + str(total));
+  total;
+}
+`

@@ -1,0 +1,198 @@
+package programs
+
+// Typechecker checks a small functional language (Table 2:
+// "Typechecker, 11,000 lines, typechecker for the Cecil language" —
+// here a typechecker of the same shape at reduced size): AST nodes and
+// types are classes, checking is dispatched per node kind, type
+// equality is a multi-method (TFun × TFun recursion), and the shared
+// judgment helpers pass their formals straight into dispatched sends —
+// the pass-through pattern the selective specialization algorithm
+// feeds on.
+func Typechecker() Benchmark {
+	return Benchmark{
+		Name:        "Typechecker",
+		Description: "Typechecker for a small functional language",
+		PaperLines:  11000,
+		Source:      typecheckerSrc,
+		Train:       map[string]int64{"tcDepth": 5, "tcRounds": 1200},
+		Test:        map[string]int64{"tcDepth": 6, "tcRounds": 90},
+	}
+}
+
+const typecheckerSrc = `
+-- Typechecker: AST classes + dispatched check methods + multi-method
+-- type equality.
+
+var tcDepth := 5;    -- depth of generated expressions
+var tcRounds := 35;  -- number of expressions checked
+
+-- Types.
+class Type
+class TInt isa Type
+class TBool isa Type
+class TFun isa Type { field from : Type := nil; field to : Type := nil; }
+class TError isa Type   -- the type of ill-typed expressions
+
+var theInt := new TInt();
+var theBool := new TBool();
+var theError := new TError();
+
+-- Multi-method structural type equality.
+method typeEq(a@Type, b@Type) { false; }
+method typeEq(a@TInt, b@TInt) { true; }
+method typeEq(a@TBool, b@TBool) { true; }
+method typeEq(a@TFun, b@TFun) {
+  typeEq(a.from, b.from) && typeEq(a.to, b.to);
+}
+method typeEq(a@TError, b@TError) { true; }
+
+method typeName(t@Type) { "?"; }
+method typeName(t@TInt) { "int"; }
+method typeName(t@TBool) { "bool"; }
+method typeName(t@TError) { "error"; }
+method typeName(t@TFun) { "(" + t.from.typeName() + "->" + t.to.typeName() + ")"; }
+
+method isError(t@Type) { false; }
+method isError(t@TError) { true; }
+
+-- Shared judgment helpers: each passes its formals directly to
+-- dispatched sends, so profile-guided specialization can hoist the
+-- inner dispatches out of every checker that calls them.
+method isIntType(t@Type) { typeEq(t, theInt); }
+method isBoolType(t@Type) { typeEq(t, theBool); }
+method bothInt(lt@Type, rt@Type) { lt.isIntType() && rt.isIntType(); }
+method joinTypes(a@Type, b@Type) {
+  if typeEq(a, b) && !a.isError() { a; } else { theError; }
+}
+
+-- Expressions. Subexpression fields carry declared types (Cecil
+-- style), which class hierarchy analysis exploits.
+class Expr
+class IntLit isa Expr { field val : Int := 0; }
+class BoolLit isa Expr { field val : Bool := false; }
+class VarRef isa Expr { field name : Int := 0; }
+class BinExpr isa Expr { field l : Expr := nil; field r : Expr := nil; }
+class AddExpr isa BinExpr
+class LessExpr isa BinExpr
+class EqExpr isa BinExpr
+class IfExpr isa Expr { field c : Expr := nil; field t : Expr := nil; field e : Expr := nil; }
+class LetExpr isa Expr { field name : Int := 0; field bound : Expr := nil; field body : Expr := nil; }
+class LambdaExpr isa Expr { field name : Int := 0; field pty : Type := nil; field body : Expr := nil; }
+class ApplyExpr isa Expr { field f : Expr := nil; field arg : Expr := nil; }
+
+-- Environments: linked association lists.
+class Env { field name : Int := 0; field ty : Type := nil; field next := nil; }
+
+method envLookup(env, name@Int) {
+  var e := env;
+  while e != nil {
+    if e.name == name { return e.ty; }
+    e := e.next;
+  }
+  theError;
+}
+
+-- The checker: one method per AST class, dispatched on the node.
+method check(x@IntLit, env) { theInt; }
+method check(x@BoolLit, env) { theBool; }
+method check(x@VarRef, env) { envLookup(env, x.name); }
+method check(x@AddExpr, env) {
+  if bothInt(x.l.check(env), x.r.check(env)) { theInt; } else { theError; }
+}
+method check(x@LessExpr, env) {
+  if bothInt(x.l.check(env), x.r.check(env)) { theBool; } else { theError; }
+}
+method check(x@EqExpr, env) {
+  var j := joinTypes(x.l.check(env), x.r.check(env));
+  if j.isError() { theError; } else { theBool; }
+}
+method check(x@IfExpr, env) {
+  var ct := x.c.check(env);
+  if !ct.isBoolType() { return theError; }
+  joinTypes(x.t.check(env), x.e.check(env));
+}
+method check(x@LetExpr, env) {
+  var bt := x.bound.check(env);
+  if bt.isError() { return theError; }
+  x.body.check(new Env(x.name, bt, env));
+}
+method check(x@LambdaExpr, env) {
+  var bt := x.body.check(new Env(x.name, x.pty, env));
+  if bt.isError() { return theError; }
+  new TFun(x.pty, bt);
+}
+method check(x@ApplyExpr, env) {
+  checkApply(x.f.check(env), x.arg.check(env));
+}
+
+-- Application checking dispatches on the callee type; the argument
+-- type passes through into the multi-method equality test.
+method checkApply(ft@Type, at@Type) { theError; }
+method checkApply(ft@TFun, at@Type) {
+  if typeEq(ft.from, at) { ft.to; } else { theError; }
+}
+
+-- Expression generator (deterministic, seeded).
+class Gen { field seed : Int := 0; field vars : Int := 0; }
+method gnext(g@Gen) {
+  g.seed := (g.seed * 1103515245 + 12345) % 2147483648;
+  g.seed;
+}
+method gbelow(g@Gen, n@Int) { g.gnext() % n; }
+
+method genType(g@Gen, depth@Int) {
+  if depth <= 0 || g.gbelow(3) != 0 {
+    if g.gbelow(2) == 0 { return theInt; }
+    return theBool;
+  }
+  new TFun(genType(g, depth - 1), genType(g, depth - 1));
+}
+
+method genExpr(g@Gen, depth@Int) {
+  if depth <= 0 {
+    var k := g.gbelow(3);
+    if k == 0 { return new IntLit(g.gbelow(100)); }
+    if k == 1 { return new BoolLit(g.gbelow(2) == 0); }
+    return new VarRef(g.gbelow(4));
+  }
+  var k := g.gbelow(8);
+  if k == 0 { return new AddExpr(genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  if k == 1 { return new LessExpr(genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  if k == 2 { return new EqExpr(genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  if k == 3 { return new IfExpr(genExpr(g, depth - 1), genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  if k == 4 { return new LetExpr(g.gbelow(4), genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  if k == 5 { return new LambdaExpr(g.gbelow(4), genType(g, 2), genExpr(g, depth - 1)); }
+  if k == 6 { return new ApplyExpr(genExpr(g, depth - 1), genExpr(g, depth - 1)); }
+  new AddExpr(new IntLit(g.gbelow(10)), genExpr(g, depth - 1));
+}
+
+-- A base environment with a few int/bool/function variables.
+method baseEnv() {
+  var env := new Env(0, theInt, nil);
+  env := new Env(1, theBool, env);
+  env := new Env(2, new TFun(theInt, theInt), env);
+  env := new Env(3, new TFun(theInt, theBool), env);
+  env;
+}
+
+method main() {
+  var g := new Gen(987654321, 4);
+  var env := baseEnv();
+  var ok := 0;
+  var bad := 0;
+  var funs := 0;
+  var round := 0;
+  while round < tcRounds {
+    var e := genExpr(g, tcDepth);
+    var t := e.check(env);
+    if t.isError() { bad := bad + 1; }
+    else {
+      ok := ok + 1;
+      if typeEq(t, t) && classname(t) == "TFun" { funs := funs + 1; }
+    }
+    round := round + 1;
+  }
+  println("ok=" + str(ok) + " bad=" + str(bad) + " funs=" + str(funs));
+  ok * 1000000 + bad * 1000 + funs;
+}
+`

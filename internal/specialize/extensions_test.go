@@ -1,0 +1,139 @@
+package specialize
+
+import (
+	"testing"
+
+	"selspec/internal/hier"
+	"selspec/internal/profile"
+)
+
+// recordEntries registers observed argument tuples for m4 so the §3.2
+// tuple-profile extension has data.
+func (fx *fixture) recordEntries(t *testing.T, pairs [][2]string) {
+	t.Helper()
+	for _, p := range pairs {
+		c1, ok1 := fx.h.Class(p[0])
+		c2, ok2 := fx.h.Class(p[1])
+		if !ok1 || !ok2 {
+			t.Fatalf("bad classes %v", p)
+		}
+		fx.cg.RecordEntry(fx.m4, []*hier.Class{c1, c2})
+	}
+}
+
+// TestTupleProfilesPruneCombinations: with tuple profiles on and only
+// (A,B)-shaped invocations observed, the cross combinations that no
+// call ever exercised are dropped, while the observed ones survive.
+func TestTupleProfilesPruneCombinations(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	// Observed calls: self ∈ {A,B,C,D,F} always paired with arg2 ∈
+	// {B,E,H,I}; never (E.., A..)-shaped pairs.
+	fx.recordEntries(t, [][2]string{{"A", "B"}, {"B", "E"}, {"C", "H"}})
+
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100, UseTupleProfiles: true})
+	m4specs := res.Specializations[fx.m4]
+
+	abcdf := fx.setOf("A", "B", "C", "D", "F")
+	ehi := fx.setOf("E", "H", "I")
+	behi := fx.setOf("B", "E", "H", "I")
+	acdfgj := fx.setOf("A", "C", "D", "F", "G", "J")
+
+	if !hasTuple(m4specs, hier.Tuple{abcdf, behi}) {
+		t.Errorf("observed combination <{A..F},{B,E,H,I}> was pruned:\n%s", res.Describe(fx.h))
+	}
+	if hasTuple(m4specs, hier.Tuple{ehi, acdfgj}) {
+		t.Errorf("unobserved combination <{E,H,I},{A,C,D,F,G,J}> survived:\n%s", res.Describe(fx.h))
+	}
+	if len(m4specs) >= 9 {
+		t.Errorf("tuple profiles did not prune: %d tuples", len(m4specs))
+	}
+}
+
+func TestTupleProfilesOverflowKeepsAll(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	// Overflow the sample: every recorded tuple is then moot.
+	classes := fx.h.Classes()
+	for i := 0; i < profile.MaxTupleSample+5; i++ {
+		c1 := classes[i%len(classes)]
+		c2 := classes[(i/len(classes))%len(classes)]
+		fx.cg.RecordEntry(fx.m4, []*hier.Class{c1, c2})
+	}
+	if ts := fx.cg.Entries(fx.m4); !ts.Overflow {
+		t.Fatalf("sample did not overflow (%d tuples)", len(ts.Tuples))
+	}
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100, UseTupleProfiles: true})
+	if got := len(res.Specializations[fx.m4]); got != 9 {
+		t.Fatalf("overflowed sample should keep all 9 tuples, got %d", got)
+	}
+}
+
+func TestTupleProfilesNoSampleKeepsAll(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100, UseTupleProfiles: true})
+	if got := len(res.Specializations[fx.m4]); got != 9 {
+		t.Fatalf("methods without samples should keep all tuples, got %d", got)
+	}
+}
+
+// TestSpaceBudget: the §3.4 heuristic stops once the program-wide
+// budget of added specializations is hit, preferring heavier arcs.
+func TestSpaceBudget(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+
+	unlimited := Run(fx.prog, fx.cg, Params{Threshold: 100})
+	if unlimited.Stats.AddedSpecs < 8 {
+		t.Fatalf("baseline added %d specs", unlimited.Stats.AddedSpecs)
+	}
+
+	budgeted := Run(fx.prog, fx.cg, Params{SpaceBudget: 3})
+	// The in-flight arc may finish combining, so allow a small
+	// overshoot but require a real reduction.
+	if budgeted.Stats.AddedSpecs < 1 || budgeted.Stats.AddedSpecs > 6 {
+		t.Fatalf("budgeted run added %d specs, want ~3", budgeted.Stats.AddedSpecs)
+	}
+	if budgeted.Stats.AddedSpecs >= unlimited.Stats.AddedSpecs {
+		t.Fatal("budget had no effect")
+	}
+
+	// The heaviest specializable arc (m3→m4, weight 1500) is served
+	// first: m3 (as its caller) must have been specialized... m3→m4 is
+	// statically bound, so the first *specializable* arc is the
+	// heaviest dynamic one: arg2.m2()→A::m2? No: weights are m-site
+	// 625/375, m2-site 550/450; the 625 arc comes first.
+	abcdf := fx.setOf("A", "B", "C", "D", "F")
+	coneA := fx.setOf("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+	if !hasTuple(budgeted.Specializations[fx.m4], hier.Tuple{abcdf, coneA}) {
+		t.Errorf("heaviest arc's tuple missing under budget:\n%s", budgeted.Describe(fx.h))
+	}
+}
+
+func TestEntriesRoundTripThroughJSON(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	fx.recordEntries(t, [][2]string{{"A", "B"}, {"E", "H"}})
+
+	data, err := fx.cg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := profile.NewCallGraph(fx.prog)
+	if err := back.UnmarshalInto(data); err != nil {
+		t.Fatal(err)
+	}
+	ts := back.Entries(fx.m4)
+	if ts == nil || len(ts.Tuples) != 2 || ts.Overflow {
+		t.Fatalf("entries round trip: %+v", ts)
+	}
+	// And the filtered algorithm behaves identically on the restored
+	// graph.
+	r1 := Run(fx.prog, fx.cg, Params{Threshold: 100, UseTupleProfiles: true})
+	r2 := Run(fx.prog, back, Params{Threshold: 100, UseTupleProfiles: true})
+	if len(r1.Specializations[fx.m4]) != len(r2.Specializations[fx.m4]) {
+		t.Fatalf("restored profile gives different result: %d vs %d",
+			len(r1.Specializations[fx.m4]), len(r2.Specializations[fx.m4]))
+	}
+}

@@ -1,0 +1,357 @@
+package specialize
+
+import (
+	"math/rand"
+	"testing"
+
+	"selspec/internal/bits"
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+	"selspec/internal/profile"
+)
+
+// paperSrc reproduces the example of Figures 2 and 3 of the paper: ten
+// classes A..J, m defined on A/E/G, m2 on A/B, m3 and m4 on A.
+const paperSrc = `
+class A
+class B isa A
+class C isa A
+class D isa A
+class G isa A
+class E isa B
+class F isa C
+class H isa E
+class I isa E
+class J isa G
+
+method m(self@A) { 1; }
+method m(self@E) { 2; }
+method m(self@G) { 3; }
+method m2(self@A) { 4; }
+method m2(self@B) { 5; }
+method m3(self@A, arg2@A) { self.m4(arg2); }
+method m4(self@A, arg2@A) { self.m(); arg2.m2(); }
+`
+
+type fixture struct {
+	prog *ir.Program
+	h    *hier.Hierarchy
+	cg   *profile.CallGraph
+
+	m3, m4                *hier.Method
+	mA, mE, mG, m2A, m2B  *hier.Method
+	siteM, siteM2, siteM4 *ir.CallSite
+	setOf                 func(names ...string) *bits.Set
+	findMethod            func(gf string, spec string) *hier.Method
+}
+
+func load(t *testing.T) *fixture {
+	t.Helper()
+	prog, err := ir.Lower(lang.MustParse(paperSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{prog: prog, h: prog.H, cg: profile.NewCallGraph(prog)}
+
+	fx.findMethod = func(gf string, spec string) *hier.Method {
+		g, ok := fx.h.GF(gf, 1)
+		if !ok {
+			g, ok = fx.h.GF(gf, 2)
+		}
+		if !ok {
+			t.Fatalf("no GF %s", gf)
+		}
+		for _, m := range g.Methods {
+			if m.Specs[0].Name == spec {
+				return m
+			}
+		}
+		t.Fatalf("no method %s@%s", gf, spec)
+		return nil
+	}
+	fx.mA, fx.mE, fx.mG = fx.findMethod("m", "A"), fx.findMethod("m", "E"), fx.findMethod("m", "G")
+	fx.m2A, fx.m2B = fx.findMethod("m2", "A"), fx.findMethod("m2", "B")
+	fx.m3, fx.m4 = fx.findMethod("m3", "A"), fx.findMethod("m4", "A")
+
+	for _, s := range prog.Bodies[fx.m4].Sites {
+		switch s.GF.Name {
+		case "m":
+			fx.siteM = s
+		case "m2":
+			fx.siteM2 = s
+		}
+	}
+	fx.siteM4 = prog.Bodies[fx.m3].Sites[0]
+
+	fx.setOf = func(names ...string) *bits.Set {
+		s := bits.New(fx.h.NumClasses())
+		for _, n := range names {
+			c, ok := fx.h.Class(n)
+			if !ok {
+				t.Fatalf("no class %s", n)
+			}
+			s.Add(c.ID)
+		}
+		return s
+	}
+	return fx
+}
+
+// recordPaperWeights installs the Figure 3 arc weights: from m4,
+// self.m() reaches A::m 625× and E::m 375×; arg2.m2() reaches B::m2
+// 550× (the paper's arc α) and A::m2 450×; m3 calls m4 1500×.
+func (fx *fixture) recordPaperWeights() {
+	fx.cg.Record(fx.siteM, fx.mA, 625)
+	fx.cg.Record(fx.siteM, fx.mE, 375)
+	fx.cg.Record(fx.siteM2, fx.m2B, 550)
+	fx.cg.Record(fx.siteM2, fx.m2A, 450)
+	fx.cg.Record(fx.siteM4, fx.m4, 1500)
+}
+
+func hasTuple(ts []hier.Tuple, want hier.Tuple) bool {
+	for _, t := range ts {
+		if t.Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNeededInfoPaperArcAlpha reproduces the paper's §3.1 example: for
+// arc α (m4's arg2.m2() reaching B::m2), neededInfoForArc is
+// <{A,...,J}, {B,E,H,I}>.
+func TestNeededInfoPaperArcAlpha(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	r := &runner{h: fx.h, prog: fx.prog, cg: fx.cg,
+		specs: map[*hier.Method][]hier.Tuple{}, general: map[*hier.Method]hier.Tuple{}}
+	for _, m := range fx.h.Methods() {
+		g := r.generalFor(m)
+		r.general[m] = g
+		r.specs[m] = []hier.Tuple{g}
+	}
+
+	var alpha *profile.Arc
+	for _, a := range fx.cg.Arcs() {
+		if a.Site == fx.siteM2 && a.Callee == fx.m2B {
+			alpha = a
+		}
+	}
+	if alpha == nil {
+		t.Fatal("arc α not found")
+	}
+	needed := r.neededInfoForArc(alpha)
+	coneA := fx.setOf("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+	if !needed[0].Equal(coneA) {
+		t.Errorf("needed[0] = %v, want cone(A)", needed[0])
+	}
+	if want := fx.setOf("B", "E", "H", "I"); !needed[1].Equal(want) {
+		t.Errorf("needed[1] = %v, want {B,E,H,I}", needed[1])
+	}
+	if !r.isSpecializableArc(alpha) {
+		t.Error("arc α must be specializable")
+	}
+}
+
+// TestPaperNineVersionsOfM4 checks §3.2: "nine versions of m4 would be
+// produced, including the original unspecialized version, assuming that
+// all four outgoing call arcs were above threshold."
+func TestPaperNineVersionsOfM4(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100})
+
+	m4specs := res.Specializations[fx.m4]
+	if len(m4specs) != 9 {
+		t.Fatalf("m4 has %d specializations, want 9:\n%s", len(m4specs), res.Describe(fx.h))
+	}
+
+	coneA := fx.setOf("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+	abcdf := fx.setOf("A", "B", "C", "D", "F")
+	ehi := fx.setOf("E", "H", "I")
+	behi := fx.setOf("B", "E", "H", "I")
+	acdfgj := fx.setOf("A", "C", "D", "F", "G", "J")
+
+	want := []hier.Tuple{
+		{coneA, coneA},  // general
+		{abcdf, coneA},  // from self.m() → A::m
+		{ehi, coneA},    // from self.m() → E::m
+		{coneA, acdfgj}, // from arg2.m2() → A::m2 (the paper's §3.3 example tuple base)
+		{coneA, behi},   // from arg2.m2() → B::m2 (arc α)
+		{abcdf, acdfgj}, // the paper's <{A,B,C,D,F},{A,C,D,F,G,J}>
+		{abcdf, behi},
+		{ehi, acdfgj},
+		{ehi, behi},
+	}
+	for _, w := range want {
+		if !hasTuple(m4specs, w) {
+			t.Errorf("missing specialization %s", w.String(fx.h))
+		}
+	}
+}
+
+// TestCascadeSpecializesM3 checks §3.3: the statically-bound
+// pass-through arc m3→m4 ripples m4's specializations up into m3.
+func TestCascadeSpecializesM3(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100})
+
+	m3specs := res.Specializations[fx.m3]
+	if len(m3specs) <= 1 {
+		t.Fatalf("m3 received no cascaded specializations:\n%s", res.Describe(fx.h))
+	}
+	// m3 passes both formals straight through, so its cascaded tuples
+	// match m4's added tuples exactly.
+	abcdf := fx.setOf("A", "B", "C", "D", "F")
+	acdfgj := fx.setOf("A", "C", "D", "F", "G", "J")
+	if !hasTuple(m3specs, hier.Tuple{abcdf, acdfgj}) {
+		t.Errorf("m3 missing cascaded <{A,B,C,D,F},{A,C,D,F,G,J}>:\n%s", res.Describe(fx.h))
+	}
+	if res.Stats.CascadeRequests == 0 {
+		t.Error("no cascade requests recorded")
+	}
+}
+
+func TestCascadeDisabled(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100, DisableCascade: true})
+	if n := len(res.Specializations[fx.m3]); n != 1 {
+		t.Fatalf("with cascade disabled m3 has %d tuples, want 1", n)
+	}
+	if res.Stats.CascadeRequests != 0 {
+		t.Error("cascade requests recorded despite DisableCascade")
+	}
+}
+
+func TestThresholdFilters(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	// Threshold above every arc weight: nothing specialized.
+	res := Run(fx.prog, fx.cg, Params{Threshold: 10_000})
+	for m, specs := range res.Specializations {
+		if len(specs) != 1 {
+			t.Errorf("%s specialized despite huge threshold", m.Name())
+		}
+	}
+	if res.Stats.ArcsAboveThreshold != 0 {
+		t.Errorf("ArcsAboveThreshold = %d", res.Stats.ArcsAboveThreshold)
+	}
+
+	// Threshold between 450 and 550: only arc α and the m-site arcs
+	// above it qualify.
+	res = Run(fx.prog, fx.cg, Params{Threshold: 500})
+	m4specs := res.Specializations[fx.m4]
+	acdfgj := fx.setOf("A", "C", "D", "F", "G", "J")
+	coneA := fx.setOf("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+	if hasTuple(m4specs, hier.Tuple{coneA, acdfgj}) {
+		t.Error("arc below threshold (450) still produced a specialization")
+	}
+	if len(m4specs) != 1+ /*mA*/ 1+ /*α*/ 1+ /*mA∩α*/ 1 {
+		t.Errorf("m4 has %d tuples at threshold 500:\n%s", len(m4specs), res.Describe(fx.h))
+	}
+}
+
+func TestDefaultThresholdIs1000(t *testing.T) {
+	if (Params{}).threshold() != 1000 {
+		t.Fatal("default threshold must match the paper (1,000 invocations)")
+	}
+	if (Params{Threshold: -1}).threshold() != 0 {
+		t.Fatal("Threshold -1 should consider every arc")
+	}
+}
+
+// TestIntersectionClosure: the specialization set of every method is
+// closed under pairwise non-empty intersection — the property that
+// makes run-time version selection unambiguous (§3.2/§3.5).
+func TestIntersectionClosure(t *testing.T) {
+	fx := load(t)
+	rng := rand.New(rand.NewSource(7))
+	// Random weights over all possible arcs, several rounds.
+	for round := 0; round < 20; round++ {
+		cg := profile.NewCallGraph(fx.prog)
+		for _, site := range fx.prog.Sites {
+			for _, m := range site.GF.Methods {
+				if rng.Intn(2) == 1 {
+					cg.Record(site, m, int64(rng.Intn(3000)))
+				}
+			}
+		}
+		res := Run(fx.prog, cg, Params{Threshold: 100})
+		for meth, specs := range res.Specializations {
+			for i := range specs {
+				for j := range specs {
+					inter := specs[i].Intersect(specs[j])
+					if inter.HasEmpty() {
+						continue
+					}
+					if !hasTuple(specs, inter) {
+						t.Fatalf("round %d: %s specs not intersection-closed:\n%s",
+							round, meth.Name(), res.Describe(fx.h))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpecsSubsetOfGeneral: every specialization is componentwise ⊆ the
+// general tuple (versions never widen beyond what can dispatch there).
+func TestSpecsSubsetOfGeneral(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100})
+	for m, specs := range res.Specializations {
+		gen := specs[0]
+		for _, s := range specs[1:] {
+			if !s.SubsetOf(gen) {
+				t.Errorf("%s: %s ⊄ general %s", m.Name(), s.String(fx.h), gen.String(fx.h))
+			}
+		}
+	}
+}
+
+func TestDisableCombination(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100, DisableCombination: true})
+	// Only the four arc tuples are added (no pairwise intersections):
+	// 1 general + 4 = 5 (cascade adds none for m4).
+	if n := len(res.Specializations[fx.m4]); n != 5 {
+		t.Fatalf("m4 has %d tuples without combination, want 5:\n%s", n, res.Describe(fx.h))
+	}
+}
+
+func TestStatsAndDescribe(t *testing.T) {
+	fx := load(t)
+	fx.recordPaperWeights()
+	res := Run(fx.prog, fx.cg, Params{Threshold: 100})
+	if res.Stats.MethodsSpecialized < 2 { // m4 and m3
+		t.Errorf("MethodsSpecialized = %d", res.Stats.MethodsSpecialized)
+	}
+	if res.Stats.MaxPerMethod != 8 {
+		t.Errorf("MaxPerMethod = %d, want 8 (m4's nine versions minus the original)", res.Stats.MaxPerMethod)
+	}
+	if res.Stats.AvgPerMethod <= 0 {
+		t.Error("AvgPerMethod not computed")
+	}
+	desc := res.Describe(fx.h)
+	if len(desc) == 0 || desc[0] == ' ' {
+		t.Errorf("Describe output: %q", desc)
+	}
+}
+
+func TestEmptyProfileNoSpecialization(t *testing.T) {
+	fx := load(t)
+	res := Run(fx.prog, fx.cg, Params{})
+	for m, specs := range res.Specializations {
+		if len(specs) != 1 {
+			t.Errorf("%s specialized with an empty profile", m.Name())
+		}
+	}
+	if res.Stats.AddedSpecs != 0 || res.Stats.MethodsSpecialized != 0 {
+		t.Errorf("stats non-zero on empty profile: %+v", res.Stats)
+	}
+}
