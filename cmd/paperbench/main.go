@@ -14,12 +14,14 @@
 //	paperbench -stats       # §3.2 specialization statistics
 //	paperbench -headline    # abstract-level claims
 //	paperbench -quick       # smaller inputs (fast smoke run)
+//	paperbench -json        # write the BENCH_paperbench.json perf trajectory
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"selspec/internal/bench"
 	"selspec/internal/specialize"
@@ -41,6 +43,8 @@ func run() error {
 		quick     = flag.Bool("quick", false, "use training-size inputs (fast)")
 		exts      = flag.Bool("extensions", false, "measure the post-paper extensions (return types + instantiation analysis)")
 		csvOut    = flag.Bool("csv", false, "emit the result matrix as CSV")
+		jsonOut   = flag.Bool("json", false, "write the perf trajectory (wall, cycles, dispatches) to -out")
+		outPath   = flag.String("out", "BENCH_paperbench.json", "output path for -json")
 		threshold = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold")
 	)
 	flag.Parse()
@@ -65,15 +69,30 @@ func run() error {
 		})
 	}
 
+	start := time.Now()
 	suite, err := bench.RunSuite(bench.Options{
 		Quick:      *quick,
 		SpecParams: specialize.Params{Threshold: *threshold},
 	})
+	suiteWall := time.Since(start)
 	if err != nil {
 		return err
 	}
 
 	switch {
+	case *jsonOut:
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := suite.WriteJSON(f, suiteWall, *quick); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (suite wall %s)\n", *outPath, suiteWall.Round(time.Millisecond))
 	case *csvOut:
 		return suite.CSV(os.Stdout)
 	case *figure == "5a":

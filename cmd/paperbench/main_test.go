@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"selspec/internal/bench"
 )
 
 func execMain(t *testing.T, args ...string) (string, error) {
@@ -42,6 +46,44 @@ func TestPaperbenchTables(t *testing.T) {
 	}
 	if _, err := execMain(t, "-table", "9"); err == nil {
 		t.Error("unknown table should fail")
+	}
+}
+
+func TestPaperbenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_paperbench.json")
+	out, err := execMain(t, "-quick", "-json", "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("missing confirmation line:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj bench.JSONTrajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !traj.Quick {
+		t.Error("quick flag not recorded")
+	}
+	if traj.SuiteWallNS <= 0 {
+		t.Errorf("suite_wall_ns = %d, want > 0", traj.SuiteWallNS)
+	}
+	// 4 benchmarks × all configs, every row populated.
+	if len(traj.Results) == 0 || len(traj.Results)%4 != 0 {
+		t.Fatalf("got %d result rows", len(traj.Results))
+	}
+	if traj.Results[0].Benchmark != "Richards" || traj.Results[0].Config != "Base" {
+		t.Errorf("first row = %s/%s, want Richards/Base",
+			traj.Results[0].Benchmark, traj.Results[0].Config)
+	}
+	for _, r := range traj.Results {
+		if r.Cycles == 0 || r.Dispatches == 0 || r.WallNS <= 0 {
+			t.Errorf("%s/%s: empty measurements %+v", r.Benchmark, r.Config, r)
+		}
 	}
 }
 

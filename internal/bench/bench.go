@@ -10,8 +10,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"selspec/internal/driver"
@@ -125,30 +127,71 @@ type Suite struct {
 	Names   []string
 }
 
-// RunSuite measures every benchmark under every configuration.
+// RunSuite measures every benchmark under every configuration,
+// fanning the (benchmark × configuration) grid out over a
+// GOMAXPROCS-sized worker pool. Each benchmark's pipeline is loaded
+// once and shared by its configurations (the hierarchy's lookup caches
+// are concurrency-safe); every cell compiles and runs its own
+// opt.Compiled, so runs never share mutable interpreter state. Cells
+// land in fixed slots and the rendered figures iterate Names/Configs
+// in Table-2 order, so the output is byte-identical to a serial run.
 func RunSuite(ho Options) (*Suite, error) {
-	s := &Suite{Results: map[string]map[opt.Config]*Result{}}
-	for _, b := range programs.All() {
+	benches := programs.All()
+	cfgs := opt.Configs()
+	s := &Suite{Results: make(map[string]map[opt.Config]*Result, len(benches))}
+	for _, b := range benches {
+		s.Names = append(s.Names, b.Name) // Table-2 order, single pass
+		s.Results[b.Name] = make(map[opt.Config]*Result, len(cfgs))
+	}
+
+	pipes := make([]*driver.Pipeline, len(benches))
+	for i, b := range benches {
 		p, err := driver.Load(b.Source)
 		if err != nil {
 			return nil, err
 		}
-		row := map[opt.Config]*Result{}
-		for _, cfg := range opt.Configs() {
-			r, err := RunOn(p, b, cfg, ho)
-			if err != nil {
-				return nil, err
-			}
-			row[cfg] = r
-		}
-		s.Results[b.Name] = row
-		s.Names = append(s.Names, b.Name)
+		pipes[i] = p
 	}
-	sort.Strings(s.Names)
-	// Keep Table 2 order rather than alphabetical.
-	s.Names = s.Names[:0]
-	for _, b := range programs.All() {
-		s.Names = append(s.Names, b.Name)
+
+	type cell struct{ bench, cfg int }
+	cells := make([]cell, 0, len(benches)*len(cfgs))
+	for i := range benches {
+		for j := range cfgs {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	results := make([]*Result, len(cells))
+	errs := make([]error, len(cells))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				cl := cells[i]
+				results[i], errs[i] = RunOn(pipes[cl.bench], benches[cl.bench], cfgs[cl.cfg], ho)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs { // lowest-index error wins: deterministic
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, cl := range cells {
+		s.Results[benches[cl.bench].Name][cfgs[cl.cfg]] = results[i]
 	}
 	return s, nil
 }

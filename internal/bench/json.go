@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"selspec/internal/opt"
+)
+
+// JSONResult is one (benchmark, configuration) cell of the perf
+// trajectory: the wall-clock and cycle-model costs plus the dispatch
+// counts future PRs diff against to catch regressions.
+type JSONResult struct {
+	Benchmark         string `json:"benchmark"`
+	Config            string `json:"config"`
+	WallNS            int64  `json:"wall_ns"`
+	Cycles            uint64 `json:"cycles"`
+	Dispatches        uint64 `json:"dispatches"`
+	VersionSelects    uint64 `json:"version_selects"`
+	DynamicDispatches uint64 `json:"dynamic_dispatches"`
+	StaticVersions    int    `json:"static_versions"`
+	InvokedVersions   int    `json:"invoked_versions"`
+	IRNodes           int    `json:"ir_nodes"`
+}
+
+// JSONTrajectory is the top-level shape of BENCH_paperbench.json.
+type JSONTrajectory struct {
+	SuiteWallNS int64        `json:"suite_wall_ns"` // end-to-end RunSuite wall time
+	Workers     int          `json:"workers"`       // GOMAXPROCS during the run
+	Quick       bool         `json:"quick"`
+	Results     []JSONResult `json:"results"`
+}
+
+// WriteJSON emits the machine-readable perf trajectory for the suite,
+// rows in Table-2 × Configs order (deterministic apart from the wall
+// times themselves).
+func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool) error {
+	t := JSONTrajectory{
+		SuiteWallNS: suiteWall.Nanoseconds(),
+		Workers:     runtime.GOMAXPROCS(0),
+		Quick:       quick,
+	}
+	for _, name := range s.Names {
+		for _, cfg := range opt.Configs() {
+			r := s.Results[name][cfg]
+			t.Results = append(t.Results, JSONResult{
+				Benchmark:         name,
+				Config:            cfg.String(),
+				WallNS:            r.Wall.Nanoseconds(),
+				Cycles:            r.Cycles,
+				Dispatches:        r.Dispatches,
+				VersionSelects:    r.VersionSelects,
+				DynamicDispatches: r.DynamicDispatches(),
+				StaticVersions:    r.StaticVersions,
+				InvokedVersions:   r.InvokedVersions,
+				IRNodes:           r.IRNodes,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

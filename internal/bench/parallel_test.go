@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"selspec/internal/opt"
+	"selspec/internal/specialize"
+)
+
+// TestRunSuiteParallelMatchesSerial checks the harness invariant the
+// parallel fan-out promises: every measurement except wall time is
+// byte-identical whether the (benchmark × config) grid runs on one
+// worker or several.
+func TestRunSuiteParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	opts := Options{
+		Quick:      true,
+		StepLimit:  500_000_000,
+		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, serr := RunSuite(opts)
+	runtime.GOMAXPROCS(4) // the CI box may have 1 CPU; force a real worker pool
+	par, perr := RunSuite(opts)
+	runtime.GOMAXPROCS(prev)
+	if serr != nil || perr != nil {
+		t.Fatalf("serial err %v, parallel err %v", serr, perr)
+	}
+
+	if len(serial.Names) != len(par.Names) {
+		t.Fatalf("names differ: %v vs %v", serial.Names, par.Names)
+	}
+	for i := range serial.Names {
+		if serial.Names[i] != par.Names[i] {
+			t.Fatalf("name order differs: %v vs %v", serial.Names, par.Names)
+		}
+	}
+	for _, name := range serial.Names {
+		for _, cfg := range opt.Configs() {
+			s, p := serial.Results[name][cfg], par.Results[name][cfg]
+			if s == nil || p == nil {
+				t.Fatalf("%s/%v: missing result (serial %v, parallel %v)", name, cfg, s, p)
+			}
+			if s.Dispatches != p.Dispatches || s.VersionSelects != p.VersionSelects ||
+				s.Cycles != p.Cycles || s.StaticVersions != p.StaticVersions ||
+				s.InvokedVersions != p.InvokedVersions || s.IRNodes != p.IRNodes {
+				t.Errorf("%s/%v: parallel run diverged:\n  serial   %+v\n  parallel %+v",
+					name, cfg, s, p)
+			}
+		}
+		ss := serial.Results[name][opt.Selective].SpecStats
+		ps := par.Results[name][opt.Selective].SpecStats
+		if (ss == nil) != (ps == nil) {
+			t.Errorf("%s: SpecStats presence differs", name)
+		} else if ss != nil && *ss != *ps {
+			t.Errorf("%s: SpecStats diverged: %+v vs %+v", name, *ss, *ps)
+		}
+	}
+}

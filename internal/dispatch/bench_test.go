@@ -55,6 +55,24 @@ func BenchmarkPICHit(b *testing.B) {
 	}
 }
 
+// BenchmarkPICHitMonomorphic is the move-to-front fast path: the same
+// tuple every time, always at the front.
+func BenchmarkPICHitMonomorphic(b *testing.B) {
+	_, _, cs := benchHier(b)
+	p := NewPIC(0)
+	v := &ir.Version{}
+	for _, c1 := range cs {
+		p.Add([]*hier.Class{c1, cs[0]}, Target{Version: v})
+	}
+	args := []*hier.Class{cs[0], cs[0]}
+	p.Lookup(args) // promote to front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lookup(args)
+	}
+}
+
 func BenchmarkMMTableLookup(b *testing.B) {
 	h, g, cs := benchHier(b)
 	tab, err := NewMMTable(h, g)

@@ -93,6 +93,42 @@ func TestPICKeyCoversAllPositions(t *testing.T) {
 	}
 }
 
+// TestPICMoveToFront: a hit behind the front promotes its entry to the
+// front and keeps the relative order of the others, so the hottest
+// tuple ends up costing one compare.
+func TestPICMoveToFront(t *testing.T) {
+	h := buildHier(t)
+	p := NewPIC(0)
+	a, b, c := cls(t, h, "A"), cls(t, h, "B"), cls(t, h, "C")
+	va, vb, vc := &ir.Version{}, &ir.Version{}, &ir.Version{}
+	p.Add([]*hier.Class{a}, Target{Version: va})
+	p.Add([]*hier.Class{b}, Target{Version: vb})
+	p.Add([]*hier.Class{c}, Target{Version: vc})
+
+	if got, ok := p.Lookup([]*hier.Class{c}); !ok || got.Version != vc {
+		t.Fatal("lookup C missed")
+	}
+	// Order is now C, A, B.
+	want := []*ir.Version{vc, va, vb}
+	for i, e := range p.Entries() {
+		if e.Version != want[i] {
+			t.Fatalf("entry %d = %p, want %p (order after MTF)", i, e.Version, want[i])
+		}
+	}
+	// Hitting the front entry keeps the order.
+	if _, ok := p.Lookup([]*hier.Class{c}); !ok {
+		t.Fatal("front hit missed")
+	}
+	for i, e := range p.Entries() {
+		if e.Version != want[i] {
+			t.Fatalf("front hit reordered entry %d", i)
+		}
+	}
+	if p.Hits != 2 || p.Misses != 0 {
+		t.Errorf("hits/misses = %d/%d", p.Hits, p.Misses)
+	}
+}
+
 func TestDefaultPICSize(t *testing.T) {
 	p := NewPIC(0)
 	if p.max != DefaultPICSize {

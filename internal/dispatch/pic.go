@@ -47,21 +47,48 @@ func NewPIC(max int) *PIC {
 	return &PIC{max: max}
 }
 
-// Lookup searches the cache for the class tuple.
-func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
-outer:
-	for i := range p.entries {
-		e := &p.entries[i]
-		if len(e.classes) != len(classes) {
-			continue
-		}
-		for j, c := range e.classes {
+// match compares an entry's class tuple against the actuals. The
+// common arities are unrolled so a monomorphic site costs one (or two)
+// pointer compares instead of a counted loop.
+func (e *picEntry) match(classes []*hier.Class) bool {
+	k := e.classes
+	if len(k) != len(classes) {
+		return false
+	}
+	switch len(k) {
+	case 1:
+		return k[0] == classes[0]
+	case 2:
+		return k[0] == classes[0] && k[1] == classes[1]
+	case 3:
+		return k[0] == classes[0] && k[1] == classes[1] && k[2] == classes[2]
+	default:
+		for j, c := range k {
 			if c != classes[j] {
-				continue outer
+				return false
 			}
 		}
+		return true
+	}
+}
+
+// Lookup searches the cache for the class tuple. Hits behind the front
+// entry move to the front (preserving the relative order of the rest),
+// so a site's hottest tuple is always the first — monomorphic and
+// phase-stable sites pay a single arity-specialized compare.
+func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
+	if len(p.entries) > 0 && p.entries[0].match(classes) {
 		p.Hits++
-		return e.target, true
+		return p.entries[0].target, true
+	}
+	for i := 1; i < len(p.entries); i++ {
+		if p.entries[i].match(classes) {
+			e := p.entries[i]
+			copy(p.entries[1:i+1], p.entries[:i])
+			p.entries[0] = e
+			p.Hits++
+			return e.target, true
+		}
 	}
 	p.Misses++
 	return Target{}, false

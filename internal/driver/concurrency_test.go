@@ -1,0 +1,74 @@
+package driver
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"selspec/internal/interp"
+	"selspec/internal/opt"
+)
+
+// TestConcurrentExecutePIC runs PIC-backed interpretation of one shared
+// eagerly-compiled program from many goroutines at once. Each goroutine
+// owns its Interp (Execute creates one per call); the shared pieces —
+// the hierarchy's dispatch caches, the compiled method bodies — must be
+// safe for concurrent readers. Run under -race this covers the
+// lookup-cache and compile-side synchronization end to end.
+func TestConcurrentExecutePIC(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // the CI box may have 1 CPU; force real parallelism
+	defer runtime.GOMAXPROCS(prev)
+
+	p := MustLoad(setProgram)
+	for _, cfg := range []opt.Config{opt.Base, opt.CHA} { // eager configs share a Compiled safely
+		c, err := opt.Compile(p.Prog, opt.Options{Config: cfg})
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		ref, err := Execute(c, RunOptions{Mechanism: interp.MechPIC, StepLimit: 50_000_000})
+		if err != nil {
+			t.Fatalf("%v: reference run: %v", cfg, err)
+		}
+
+		const goroutines, rounds = 8, 3
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		totals := make([]interp.Counters, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					res, err := Execute(c, RunOptions{Mechanism: interp.MechPIC, StepLimit: 50_000_000})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Value != ref.Value {
+						t.Errorf("%v: goroutine %d got %q, want %q", cfg, g, res.Value, ref.Value)
+						return
+					}
+					totals[g].Add(res.Counters)
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+
+		// The interpreter is deterministic, so aggregated counters must be
+		// exact multiples of the reference run's.
+		var sum interp.Counters
+		for _, c := range totals {
+			sum.Add(c)
+		}
+		if want := ref.Counters.Dispatches * goroutines * rounds; sum.Dispatches != want {
+			t.Errorf("%v: aggregated dispatches = %d, want %d", cfg, sum.Dispatches, want)
+		}
+		if want := ref.Counters.Cycles * goroutines * rounds; sum.Cycles != want {
+			t.Errorf("%v: aggregated cycles = %d, want %d", cfg, sum.Cycles, want)
+		}
+	}
+}

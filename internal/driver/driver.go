@@ -86,12 +86,14 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 
 	// Apply global overrides after initialization: Run initializes
 	// globals itself, so we pre-validate names here and patch the
-	// initializer values.
+	// initializer values. Overrides mutate c, so concurrent Executes
+	// (the parallel harness) must each use their own Compiled.
 	if len(ro.Overrides) > 0 {
-		if err := overrideGlobals(c, ro.Overrides); err != nil {
+		saved, err := overrideGlobals(c, ro.Overrides)
+		if err != nil {
 			return nil, err
 		}
-		defer restoreGlobals(c)
+		defer restoreGlobals(c, saved)
 	}
 
 	start := time.Now()
@@ -112,28 +114,27 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 }
 
 // overrideGlobals temporarily swaps the compiled initializers of the
-// named globals for integer constants.
-var savedInits = map[*opt.Compiled]map[int]ir.Node{}
-
-func overrideGlobals(c *opt.Compiled, over map[string]int64) error {
+// named globals for integer constants, returning the displaced
+// initializers. The saved set stays on the caller's stack rather than
+// in package state, so runs of different Compiled programs never
+// contend.
+func overrideGlobals(c *opt.Compiled, over map[string]int64) (map[int]ir.Node, error) {
 	saved := map[int]ir.Node{}
 	for name, val := range over {
 		idx, ok := c.Prog.GlobalIdx[name]
 		if !ok {
-			return fmt.Errorf("driver: override of unknown global %q", name)
+			return nil, fmt.Errorf("driver: override of unknown global %q", name)
 		}
 		saved[idx] = c.GlobalInits[idx]
 		c.GlobalInits[idx] = &ir.Const{Kind: ir.KInt, Int: val}
 	}
-	savedInits[c] = saved
-	return nil
+	return saved, nil
 }
 
-func restoreGlobals(c *opt.Compiled) {
-	for idx, n := range savedInits[c] {
+func restoreGlobals(c *opt.Compiled, saved map[int]ir.Node) {
+	for idx, n := range saved {
 		c.GlobalInits[idx] = n
 	}
-	delete(savedInits, c)
 }
 
 // CollectProfile compiles the program under Base with instrumentation

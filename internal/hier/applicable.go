@@ -30,6 +30,11 @@ func (h *Hierarchy) ApplicableClassesExact(m *Method) (Tuple, bool) {
 	if !h.frozen {
 		panic("hier: ApplicableClasses before Freeze")
 	}
+	// Single-flight under the mutex: the computation is deterministic,
+	// so holding the lock through it keeps the memo consistent for
+	// concurrent compilations sharing this hierarchy.
+	h.applicableMu.Lock()
+	defer h.applicableMu.Unlock()
 	if t, ok := h.applicableMemo[m]; ok {
 		return t, h.applicableExact[m]
 	}

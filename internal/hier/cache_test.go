@@ -1,0 +1,240 @@
+package hier
+
+import (
+	"sync"
+	"testing"
+
+	"selspec/internal/lang"
+)
+
+const cacheHierSrc = `
+class A
+class B isa A
+class C isa A
+class D isa B
+method m(x@A) { 1; }
+method m(x@B) { 2; }
+method mm(x@A, y@A) { 1; }
+method mm(x@B, y@B) { 2; }
+method mm(x@A, y@C) { 3; }
+method mm(x@B, y@C) { 4; }
+`
+
+func cacheHier(tb testing.TB) (*Hierarchy, []*Class) {
+	tb.Helper()
+	h, err := Build(lang.MustParse(cacheHierSrc))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var cs []*Class
+	for _, n := range []string{"A", "B", "C", "D"} {
+		c, ok := h.Class(n)
+		if !ok {
+			tb.Fatalf("no class %s", n)
+		}
+		cs = append(cs, c)
+	}
+	return h, cs
+}
+
+// TestCacheFullClassIDs pins the fix for the old string-key truncation:
+// classKey kept only 16 bits of Class.ID, so in hierarchies beyond
+// 65 535 classes the tuples (1, x) and (65537, x) silently aliased one
+// cache entry. The integer-keyed cache must keep full IDs in every
+// layout. Classes are fabricated directly (building 65 000+ real
+// classes would allocate gigabytes of ancestor bitsets).
+func TestCacheFullClassIDs(t *testing.T) {
+	const numClasses = 70_000
+	low := &Class{ID: 1}
+	high := &Class{ID: 65_537} // 1<<16 + 1: truncated to 1 by the old key
+	other := &Class{ID: 2}
+	mLow := &Method{ID: 1}
+	mHigh := &Method{ID: 2}
+
+	t.Run("dense", func(t *testing.T) {
+		c := newGFCache(1, numClasses)
+		if c.dense == nil {
+			t.Fatal("arity 1 should use the dense layout")
+		}
+		c.put([]*Class{low}, lookupResult{m: mLow})
+		c.put([]*Class{high}, lookupResult{m: mHigh})
+		if r, ok := c.get([]*Class{low}); !ok || r.m != mLow {
+			t.Fatalf("dense get(1) = %v, %t", r.m, ok)
+		}
+		if r, ok := c.get([]*Class{high}); !ok || r.m != mHigh {
+			t.Fatalf("dense get(65537) = %v, %t", r.m, ok)
+		}
+	})
+
+	t.Run("packed", func(t *testing.T) {
+		c := newGFCache(2, numClasses)
+		if c.shards == nil {
+			t.Fatal("arity 2 over 70k classes should pack into a uint64")
+		}
+		c.put([]*Class{low, other}, lookupResult{m: mLow})
+		c.put([]*Class{high, other}, lookupResult{m: mHigh})
+		if r, ok := c.get([]*Class{low, other}); !ok || r.m != mLow {
+			t.Fatalf("packed get(1,2) = %v, %t", r.m, ok)
+		}
+		if r, ok := c.get([]*Class{high, other}); !ok || r.m != mHigh {
+			t.Fatalf("packed get(65537,2) = %v, %t", r.m, ok)
+		}
+	})
+
+	t.Run("wide", func(t *testing.T) {
+		c := newGFCache(6, numClasses) // 6×17 bits > 64: wide fallback
+		if c.wide == nil {
+			t.Fatal("arity 6 over 70k classes should use the wide layout")
+		}
+		tup := func(first *Class) []*Class {
+			return []*Class{first, other, other, other, other, other}
+		}
+		c.put(tup(low), lookupResult{m: mLow})
+		c.put(tup(high), lookupResult{m: mHigh})
+		if r, ok := c.get(tup(low)); !ok || r.m != mLow {
+			t.Fatalf("wide get(1,...) = %v, %t", r.m, ok)
+		}
+		if r, ok := c.get(tup(high)); !ok || r.m != mHigh {
+			t.Fatalf("wide get(65537,...) = %v, %t", r.m, ok)
+		}
+	})
+}
+
+// TestLookupCacheHitAllocFree: after warmup, Lookup must not allocate
+// on cache hits (the dispatch hot path of the interpreter and of the
+// unique-target enumeration in opt).
+func TestLookupCacheHitAllocFree(t *testing.T) {
+	h, cs := cacheHier(t)
+	g1, _ := h.GF("m", 1)
+	g2, _ := h.GF("mm", 2)
+
+	args1 := []*Class{cs[3]}
+	args2 := []*Class{cs[1], cs[2]}
+	h.Lookup(g1, args1...)
+	h.Lookup(g2, args2...)
+
+	if n := testing.AllocsPerRun(100, func() {
+		h.Lookup(g1, args1...)
+	}); n != 0 {
+		t.Errorf("arity-1 Lookup hit allocates %v objects/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h.Lookup(g2, args2...)
+	}); n != 0 {
+		t.Errorf("arity-2 Lookup hit allocates %v objects/op", n)
+	}
+}
+
+// TestConcurrentLookup hammers one frozen hierarchy from many
+// goroutines, mixing cold and warm tuples, and checks every result
+// against the serial answers. Run under -race this is the lookup half
+// of the harness-concurrency guarantee.
+func TestConcurrentLookup(t *testing.T) {
+	h, cs := cacheHier(t)
+	g1, _ := h.GF("m", 1)
+	g2, _ := h.GF("mm", 2)
+
+	// Serial reference answers from a second, identical hierarchy (so
+	// the concurrent run starts with cold caches).
+	href, _ := Build(lang.MustParse(cacheHierSrc))
+	var refs []*Class
+	for _, c := range cs {
+		rc, _ := href.Class(c.Name)
+		refs = append(refs, rc)
+	}
+	type want struct {
+		name string
+		amb  bool
+		err  bool
+	}
+	wantM := make([]want, len(cs))
+	wantMM := make([]want, len(cs)*len(cs))
+	for i, c := range refs {
+		if m, err := href.Lookup(href.gfs[GFKey("m", 1)], c); err != nil {
+			wantM[i] = want{err: true, amb: err.Ambiguous}
+		} else {
+			wantM[i] = want{name: m.Name()}
+		}
+		for j, d := range refs {
+			if m, err := href.Lookup(href.gfs[GFKey("mm", 2)], c, d); err != nil {
+				wantMM[i*len(cs)+j] = want{err: true, amb: err.Ambiguous}
+			} else {
+				wantMM[i*len(cs)+j] = want{name: m.Name()}
+			}
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 300
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			args := make([]*Class, 2)
+			for r := 0; r < rounds; r++ {
+				i := (seed + r) % len(cs)
+				j := (seed*3 + r) % len(cs)
+				args[0], args[1] = cs[i], cs[j]
+				m, err := h.Lookup(g2, args...)
+				w2 := wantMM[i*len(cs)+j]
+				if (err != nil) != w2.err || (err == nil && m.Name() != w2.name) ||
+					(err != nil && err.Ambiguous != w2.amb) {
+					errc <- &DispatchError{GF: g2, Classes: []*Class{cs[i], cs[j]}}
+					return
+				}
+				m1, err1 := h.Lookup(g1, args[:1]...)
+				w1 := wantM[i]
+				if (err1 != nil) != w1.err || (err1 == nil && m1.Name() != w1.name) {
+					errc <- &DispatchError{GF: g1, Classes: []*Class{cs[i]}}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent lookup diverged from serial answer: %v", err)
+	}
+}
+
+// BenchmarkHierLookup measures cache-hit dispatch; run with -benchmem,
+// hits must report 0 allocs/op.
+func BenchmarkHierLookup(b *testing.B) {
+	h, cs := cacheHier(b)
+
+	b.Run("arity1", func(b *testing.B) {
+		g, _ := h.GF("m", 1)
+		args := make([]*Class, 1)
+		for _, c := range cs {
+			args[0] = c
+			h.Lookup(g, args...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args[0] = cs[i%len(cs)]
+			h.Lookup(g, args...)
+		}
+	})
+
+	b.Run("arity2", func(b *testing.B) {
+		g, _ := h.GF("mm", 2)
+		args := make([]*Class, 2)
+		for _, c1 := range cs {
+			for _, c2 := range cs {
+				args[0], args[1] = c1, c2
+				h.Lookup(g, args...)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args[0] = cs[i%len(cs)]
+			args[1] = cs[(i/2)%len(cs)]
+			h.Lookup(g, args...)
+		}
+	})
+}

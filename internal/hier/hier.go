@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"selspec/internal/bits"
 	"selspec/internal/lang"
@@ -146,9 +147,8 @@ type GF struct {
 	Arity   int
 	Methods []*Method
 
-	dispatched  []bool // positions where some method specializes
-	lookupCache map[string]*Method
-	cacheErr    map[string]*DispatchError
+	dispatched []bool   // positions where some method specializes
+	cache      *gfCache // memoized lookups; installed by Freeze
 }
 
 // Key returns the map key "name/arity" identifying the GF.
@@ -207,6 +207,10 @@ type Hierarchy struct {
 	any        *Class
 	allClasses *bits.Set
 
+	// applicableMu guards the ApplicableClasses memo: compilations of
+	// different configurations may share one frozen hierarchy across
+	// goroutines (the parallel benchmark harness does).
+	applicableMu    sync.Mutex
 	applicableMemo  map[*Method]Tuple
 	applicableExact map[*Method]bool
 }
@@ -387,8 +391,7 @@ func (h *Hierarchy) Freeze() {
 		})
 	}
 	for _, g := range h.gfList {
-		g.lookupCache = map[string]*Method{}
-		g.cacheErr = map[string]*DispatchError{}
+		g.cache = newGFCache(g.Arity, len(h.classes))
 	}
 }
 
@@ -399,39 +402,27 @@ func (h *Hierarchy) Frozen() bool { return h.frozen }
 // for Any (identical, but avoids the panic path pre-freeze misuse).
 func (h *Hierarchy) ConeSet(c *Class) *bits.Set { return c.Cone() }
 
-func classKey(classes []*Class) string {
-	var b []byte
-	for _, c := range classes {
-		b = append(b, byte(c.ID), byte(c.ID>>8))
-	}
-	return string(b)
-}
-
 // Lookup performs multi-method dispatch for the given argument classes:
 // it returns the unique most-specific applicable method, or a
 // DispatchError (message not understood / ambiguous).
+//
+// After Freeze, Lookup is safe for concurrent use by multiple
+// goroutines and allocation-free on cache hits (the gfCache keeps a
+// dense per-class slot for single dispatch and a packed integer key
+// for small arities).
 func (h *Hierarchy) Lookup(g *GF, classes ...*Class) (*Method, *DispatchError) {
 	if len(classes) != g.Arity {
 		panic(fmt.Sprintf("hier: Lookup %s with %d classes", g.Key(), len(classes)))
 	}
-	var key string
-	if h.frozen {
-		key = classKey(classes)
-		if m, ok := g.lookupCache[key]; ok {
-			return m, nil
-		}
-		if e, ok := g.cacheErr[key]; ok {
-			return nil, e
-		}
+	cache := g.cache
+	if cache == nil { // pre-Freeze: uncached
+		return h.lookupSlow(g, classes)
+	}
+	if r, ok := cache.get(classes); ok {
+		return r.m, r.err
 	}
 	m, err := h.lookupSlow(g, classes)
-	if h.frozen {
-		if err != nil {
-			g.cacheErr[key] = err
-		} else {
-			g.lookupCache[key] = m
-		}
-	}
+	cache.put(classes, lookupResult{m: m, err: err})
 	return m, err
 }
 

@@ -71,7 +71,30 @@ type Counters struct {
 // executed less often).
 func (c Counters) DynamicDispatches() uint64 { return c.Dispatches + c.VersionSelects }
 
-// Interp executes one compiled program.
+// Add accumulates other into c. Concurrent runs each keep their own
+// Interp (and therefore their own Counters); aggregation into suite
+// totals happens after the goroutines join, via this method, so no
+// counter is ever shared between running interpreters.
+func (c *Counters) Add(o Counters) {
+	c.Dispatches += o.Dispatches
+	c.PICHits += o.PICHits
+	c.PICMisses += o.PICMisses
+	c.VersionSelects += o.VersionSelects
+	c.StaticCalls += o.StaticCalls
+	c.ClosureCalls += o.ClosureCalls
+	c.MethodEntries += o.MethodEntries
+	c.PrimOps += o.PrimOps
+	c.Cycles += o.Cycles
+}
+
+// Interp executes one compiled program. An Interp is single-goroutine
+// state (PICs, counters, the invoked-version set); to run one Compiled
+// program from several goroutines, give each its own Interp — the
+// shared pieces underneath (Hierarchy.Lookup caches, eagerly-compiled
+// version bodies, Compiled.SelectVersion) are safe for concurrent use.
+// Lazy-compiling configurations (Cust-MM) additionally serialize body
+// compilation through Compiled's internal lock, but sharing one lazy
+// Compiled between concurrently-running interpreters is not supported.
 type Interp struct {
 	C *opt.Compiled
 	H *hier.Hierarchy

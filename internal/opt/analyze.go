@@ -119,7 +119,7 @@ func (c *Compiled) EnsureBody(v *ir.Version) error {
 		return fmt.Errorf("opt: no source body for %s", v.Method.Name())
 	}
 	if c.Opts.Lazy {
-		c.lazyCompiles++
+		c.lazyCompiles.Add(1)
 	}
 	c.mu.Unlock()
 	if c.Opts.ReturnTypeAnalysis {
@@ -956,16 +956,16 @@ func (a *analyzer) optimizeSend(n *ir.Send) (ir.Node, info) {
 	if !ok {
 		return n, topInfo()
 	}
-	a.c.staticBound++
+	a.c.staticBound.Add(1)
 
 	v, exact := a.c.selectVersionStatic(target, infos)
 	if !exact {
-		a.c.versionSelects++
+		a.c.versionSelects.Add(1)
 		return &ir.VersionSelect{Method: target, Site: n.Site, Args: n.Args}, topInfo()
 	}
 
 	if a.canInline(target) {
-		a.c.inlinedCalls++
+		a.c.inlinedCalls.Add(1)
 		return a.inlineMethod(target, n.Args, infos)
 	}
 	return &ir.StaticCall{Target: v, Site: n.Site, Args: n.Args}, a.c.returnInfoOf(v)

@@ -7,8 +7,10 @@ package opt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"selspec/internal/bits"
 	"selspec/internal/hier"
@@ -163,11 +165,13 @@ type Compiled struct {
 	retInfo       map[*ir.Version]info
 	retInProgress map[*ir.Version]bool
 
-	// Statistics.
-	inlinedCalls   int
-	staticBound    int
-	versionSelects int // compile-time converted static→version-select
-	lazyCompiles   int
+	// Statistics. Atomic: method bodies compile on a worker pool and
+	// each worker's analyzer bumps these; addition commutes, so the
+	// totals stay deterministic under any compile order.
+	inlinedCalls   atomic.Int64
+	staticBound    atomic.Int64
+	versionSelects atomic.Int64 // compile-time converted static→version-select
+	lazyCompiles   atomic.Int64
 }
 
 // Compile compiles the program under the given options.
@@ -204,12 +208,12 @@ func Compile(p *ir.Program, opts Options) (*Compiled, error) {
 
 	// Compile bodies eagerly unless lazy.
 	if !opts.Lazy {
+		var all []*ir.Version
 		for _, m := range p.H.Methods() {
-			for _, v := range c.versions[m].list {
-				if err := c.EnsureBody(v); err != nil {
-					return nil, err
-				}
-			}
+			all = append(all, c.versions[m].list...)
+		}
+		if err := c.compileAll(all); err != nil {
+			return nil, err
 		}
 	}
 
@@ -237,6 +241,51 @@ func Compile(p *ir.Program, opts Options) (*Compiled, error) {
 		c.FieldInits[cls] = out
 	}
 	return c, nil
+}
+
+// compileAll compiles every listed version body, fanning out over a
+// GOMAXPROCS-sized worker pool. Versions are independent except for
+// return-type analysis, whose recursion-cycle cutoff depends on
+// compile order — that mode stays serial so bodies remain
+// deterministic. Per-version outcomes land in a slot array and the
+// lowest-index error wins, so failures are deterministic too.
+func (c *Compiled) compileAll(all []*ir.Version) error {
+	workers := runtime.GOMAXPROCS(0)
+	if c.Opts.ReturnTypeAnalysis || workers < 2 || len(all) < 2 {
+		for _, v := range all {
+			if err := c.EnsureBody(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+	errs := make([]error, len(all))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(errs) {
+					return
+				}
+				errs[i] = c.EnsureBody(all[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // versionTuples lists the specialization tuples to define eagerly for a
@@ -475,10 +524,10 @@ func (c *Compiled) Stats() Stats {
 	defer c.mu.Unlock()
 	s := Stats{
 		Config:         c.Opts.Config,
-		InlinedCalls:   c.inlinedCalls,
-		StaticBound:    c.staticBound,
-		VersionSelects: c.versionSelects,
-		LazyCompiles:   c.lazyCompiles,
+		InlinedCalls:   int(c.inlinedCalls.Load()),
+		StaticBound:    int(c.staticBound.Load()),
+		VersionSelects: int(c.versionSelects.Load()),
+		LazyCompiles:   int(c.lazyCompiles.Load()),
 		SourceMethods:  len(c.Prog.H.Methods()),
 	}
 	for _, m := range c.Prog.H.Methods() {
