@@ -1,12 +1,14 @@
 // Command selspec compiles and runs a Mini-Cecil program under one of
 // the paper's five compiler configurations, printing the program output
 // and (optionally) the dispatch/code-space statistics the paper
-// evaluates.
+// evaluates. The check subcommand runs the static analyzer instead of
+// the program.
 //
 // Usage:
 //
 //	selspec [flags] program.mc
 //	selspec [flags] -bench Richards
+//	selspec check [-format text|json] [-bench Name] program.mc...
 //
 // Examples:
 //
@@ -15,13 +17,16 @@
 //	selspec -bench Richards -config Cust-MM -stats
 //	selspec -profile out.json prog.mc        # write a training profile
 //	selspec -use-profile out.json -config Selective prog.mc
+//	selspec check -format json prog.mc       # static diagnostics as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"selspec/internal/check"
 	"selspec/internal/driver"
 	"selspec/internal/interp"
 	"selspec/internal/ir"
@@ -39,11 +44,14 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		return runCheck(os.Args[2:])
+	}
 	var (
-		configName = flag.String("config", "Base", "compiler configuration: Base, Cust, Cust-MM, CHA, Selective")
-		benchName  = flag.String("bench", "", "run an embedded benchmark (Richards, InstSched, Typechecker, Compiler, Sets) instead of a file")
+		configName = flag.String("config", "Base", "compiler configuration: "+strings.Join(opt.ConfigNames(), ", "))
+		benchName  = flag.String("bench", "", "run an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
 		threshold  = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold (arc invocations)")
-		mechName   = flag.String("dispatch", "PIC", "dispatch mechanism: PIC, Global, Tables")
+		mechName   = flag.String("dispatch", "PIC", "dispatch mechanism: "+strings.Join(interp.MechanismNames(), ", "))
 		stats      = flag.Bool("stats", false, "print dispatch and code-space statistics")
 		writeProf  = flag.String("profile", "", "run under Base with instrumentation and write the call-graph profile to this file")
 		useProf    = flag.String("use-profile", "", "read a previously written profile instead of running a training pass (Selective)")
@@ -60,16 +68,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var mech interp.Mechanism
-	switch *mechName {
-	case "PIC":
-		mech = interp.MechPIC
-	case "Global":
-		mech = interp.MechGlobal
-	case "Tables":
-		mech = interp.MechTables
-	default:
-		return fmt.Errorf("unknown dispatch mechanism %q", *mechName)
+	mech, err := interp.ParseMechanism(*mechName)
+	if err != nil {
+		return err
 	}
 
 	// Resolve the program source.
@@ -79,14 +80,7 @@ func run() error {
 	case *benchName != "":
 		b, ok := programs.ByName(*benchName)
 		if !ok {
-			switch *benchName {
-			case "Sets":
-				b = programs.Sets()
-			case "Collections":
-				b = programs.Collections()
-			default:
-				return fmt.Errorf("unknown benchmark %q", *benchName)
-			}
+			return fmt.Errorf("unknown benchmark %q (valid: %s)", *benchName, strings.Join(programs.Names(), ", "))
 		}
 		src, train, test = b.Source, b.Train, b.Test
 	case flag.NArg() == 1:
@@ -192,4 +186,86 @@ func run() error {
 			st.Versions, in.InvokedVersions(), st.IRNodes, st.InlinedCalls, st.StaticBound)
 	}
 	return nil
+}
+
+// runCheck implements "selspec check": run the static analyses from
+// internal/check over files and/or an embedded benchmark, print the
+// diagnostics, and fail when any were found.
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("selspec check", flag.ContinueOnError)
+	var (
+		format    = fs.String("format", check.Formats()[0], "output format: "+strings.Join(check.Formats(), ", "))
+		inst      = fs.Bool("instantiation", true, "sharpen class sets with instantiation (RTA-style) analysis")
+		benchName = fs.String("bench", "", "check an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
+		list      = fs.Bool("checks", false, "list the available checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, info := range check.Catalog() {
+			fmt.Printf("%-24s %s\n", info.ID, info.Description)
+		}
+		return nil
+	}
+	validFormat := false
+	for _, f := range check.Formats() {
+		validFormat = validFormat || f == *format
+	}
+	if !validFormat {
+		return fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(check.Formats(), ", "))
+	}
+
+	type unit struct{ label, src string }
+	var units []unit
+	if *benchName != "" {
+		b, ok := programs.ByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (valid: %s)", *benchName, strings.Join(programs.Names(), ", "))
+		}
+		units = append(units, unit{b.Name, b.Source})
+	}
+	for _, f := range fs.Args() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		units = append(units, unit{f, string(data)})
+	}
+	if len(units) == 0 {
+		fs.Usage()
+		return fmt.Errorf("check: expected program files or a -bench name")
+	}
+
+	opts := check.Options{Instantiation: *inst}
+	var all []check.Diagnostic
+	for _, u := range units {
+		ds, err := check.Source(u.label, u.src, opts)
+		if err != nil {
+			return err
+		}
+		all = append(all, ds...)
+	}
+	check.Sort(all)
+
+	var werr error
+	if *format == "json" {
+		werr = check.WriteJSON(os.Stdout, all)
+	} else {
+		werr = check.WriteText(os.Stdout, all)
+	}
+	if werr != nil {
+		return werr
+	}
+	if len(all) > 0 {
+		return fmt.Errorf("check: %d diagnostic%s", len(all), pluralS(len(all)))
+	}
+	return nil
+}
+
+func pluralS(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
 }

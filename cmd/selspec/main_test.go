@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -147,5 +148,133 @@ func TestCLIErrors(t *testing.T) {
 	path := writeProg(t, "method main() { undefined_thing; }")
 	if _, err := execMain(t, path); err == nil || !strings.Contains(err.Error(), "undefined variable") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// --- "selspec check" subcommand -------------------------------------
+
+const brokenProg = `
+class A
+class B
+method f(x@A) { 1; }
+method unused(x@A) { 2; }
+method main() { var keep := new A(); f(new B()); }
+`
+
+func TestCLICheckClean(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, err := execMain(t, "check", path)
+	if err != nil {
+		t.Fatalf("clean program: %v", err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("clean program printed %q", out)
+	}
+}
+
+func TestCLICheckBroken(t *testing.T) {
+	path := writeProg(t, brokenProg)
+	out, err := execMain(t, "check", path)
+	if err == nil || !strings.Contains(err.Error(), "2 diagnostics") {
+		t.Fatalf("err = %v", err)
+	}
+	for _, sub := range []string{"[possible-mnu]", "[dead-method]", "error: no applicable method"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+}
+
+func TestCLICheckJSON(t *testing.T) {
+	path := writeProg(t, brokenProg)
+	out, err := execMain(t, "check", "-format", "json", path)
+	if err == nil {
+		t.Fatal("expected a diagnostics error")
+	}
+	var ds []map[string]any
+	if jerr := json.Unmarshal([]byte(out), &ds); jerr != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(ds), out)
+	}
+	for _, d := range ds {
+		for _, key := range []string{"check", "severity", "file", "line", "col", "message"} {
+			if _, ok := d[key]; !ok {
+				t.Errorf("diagnostic missing %q: %v", key, d)
+			}
+		}
+	}
+}
+
+func TestCLICheckBenchmarksClean(t *testing.T) {
+	for _, name := range []string{"Richards", "InstSched", "Typechecker", "Compiler", "Sets"} {
+		out, err := execMain(t, "check", "-bench", name)
+		if err != nil {
+			t.Errorf("%s: %v\n%s", name, err, out)
+		}
+	}
+}
+
+func TestCLICheckList(t *testing.T) {
+	out, err := execMain(t, "check", "-checks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"possible-mnu", "ambiguous-dispatch", "dead-method", "arity-mismatch", "useless-specialization"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("catalog output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestCLICheckErrors(t *testing.T) {
+	cases := [][]string{
+		{"check"},                           // no input
+		{"check", "-format", "xml", "x.mc"}, // bad format
+		{"check", "-bench", "Nope"},         // unknown benchmark
+		{"check", "/does/not/exist.mc"},     // missing file
+	}
+	for _, args := range cases {
+		if _, err := execMain(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+// TestCLICheckGolden keeps the committed allowlist in sync: running
+// the checker over the examples/checkdemo fixtures must reproduce
+// examples/checkdemo/expected.json byte for byte (CI diffs the same
+// pair).
+func TestCLICheckGolden(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	want, err := os.ReadFile("examples/checkdemo/expected.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, runErr := execMain(t, "check", "-format", "json",
+		"examples/checkdemo/arity.mc", "examples/checkdemo/broken.mc")
+	if runErr == nil {
+		t.Fatal("expected a diagnostics error for the broken fixtures")
+	}
+	if out != string(want) {
+		t.Errorf("checker output diverged from examples/checkdemo/expected.json:\n--- got:\n%s\n--- want:\n%s", out, want)
+	}
+
+	cleanOut, cleanErr := execMain(t, "check", "examples/checkdemo/clean.mc")
+	if cleanErr != nil || strings.TrimSpace(cleanOut) != "" {
+		t.Errorf("clean.mc: err=%v out=%q", cleanErr, cleanOut)
 	}
 }

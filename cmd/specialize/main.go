@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"selspec/internal/driver"
 	"selspec/internal/profile"
@@ -38,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		benchName = flag.String("bench", "", "use an embedded benchmark instead of a file")
+		benchName = flag.String("bench", "", "use an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
 		threshold = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold (arc invocations)")
 		useProf   = flag.String("use-profile", "", "read a call-graph profile from this file")
 		noCascade = flag.Bool("no-cascade", false, "disable cascadeSpecializations")
@@ -54,14 +55,7 @@ func run() error {
 	case *benchName != "":
 		b, ok := programs.ByName(*benchName)
 		if !ok {
-			switch *benchName {
-			case "Sets":
-				b = programs.Sets()
-			case "Collections":
-				b = programs.Collections()
-			default:
-				return fmt.Errorf("unknown benchmark %q", *benchName)
-			}
+			return fmt.Errorf("unknown benchmark %q (valid: %s)", *benchName, strings.Join(programs.Names(), ", "))
 		}
 		src, train = b.Source, b.Train
 	case flag.NArg() == 1:

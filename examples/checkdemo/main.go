@@ -1,0 +1,45 @@
+// Checkdemo demonstrates the internal/check static analyzer: the same
+// ApplicableClasses / class-hierarchy machinery the selective
+// specializer optimizes with, re-used to prove dispatch facts before
+// running anything. It analyzes the three Mini-Cecil files in this
+// directory (also usable directly via `selspec check`) and prints
+// their diagnostics.
+//
+//	go run ./examples/checkdemo
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"os"
+
+	"selspec/internal/check"
+)
+
+//go:embed clean.mc
+var cleanSrc string
+
+//go:embed broken.mc
+var brokenSrc string
+
+//go:embed arity.mc
+var aritySrc string
+
+func main() {
+	opts := check.Options{Instantiation: true}
+	for _, u := range []struct{ name, src string }{
+		{"clean.mc", cleanSrc},
+		{"broken.mc", brokenSrc},
+		{"arity.mc", aritySrc},
+	} {
+		ds, err := check.Source(u.name, u.src, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", u.name, err)
+		}
+		fmt.Printf("== %s: %d diagnostic(s)\n", u.name, len(ds))
+		if err := check.WriteText(os.Stdout, ds); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,746 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"selspec/internal/bits"
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+)
+
+// This file is the checker's abstract interpreter: the same
+// intraprocedural class analysis the optimizer runs before specializing
+// (see internal/opt/analyze.go), re-targeted at diagnosis. Where the
+// optimizer uses a send's argument class sets to statically bind and
+// inline, the checker enumerates the concrete class tuples in their
+// product and asks multi-method Lookup which ones fail — possible
+// message-not-understood and ambiguous-dispatch findings. The analysis
+// never mutates the shared IR (the trees it walks are the program's
+// canonical lowered bodies, not clones).
+
+// ainfo is the analysis lattice value: Top or a finite set of classes.
+// Sets stored in ainfos are treated as immutable; joins allocate.
+type ainfo struct {
+	top bool
+	set *bits.Set
+}
+
+func aTop() ainfo { return ainfo{top: true} }
+
+func aExact(h *hier.Hierarchy, c *hier.Class) ainfo {
+	s := bits.New(h.NumClasses())
+	s.Add(c.ID)
+	return ainfo{set: s}
+}
+
+func aJoin(a, b ainfo) ainfo {
+	if a.top || b.top {
+		return aTop()
+	}
+	return ainfo{set: bits.Union(a.set, b.set)}
+}
+
+// cframe is the analysis state of one lexical frame.
+type cframe struct {
+	infos    []ainfo
+	poisoned map[int]bool // slots writable by escaped closures: always Top
+	isMethod bool
+}
+
+func newCFrame(size int, isMethod bool) *cframe {
+	f := &cframe{infos: make([]ainfo, size), poisoned: map[int]bool{}, isMethod: isMethod}
+	for i := range f.infos {
+		f.infos[i] = aTop()
+	}
+	return f
+}
+
+func (f *cframe) get(slot int) ainfo {
+	if slot >= len(f.infos) || f.poisoned[slot] {
+		return aTop()
+	}
+	return f.infos[slot]
+}
+
+func (f *cframe) set(slot int, in ainfo) {
+	for slot >= len(f.infos) {
+		f.infos = append(f.infos, aTop())
+	}
+	if f.poisoned[slot] {
+		return
+	}
+	f.infos[slot] = in
+}
+
+func (f *cframe) snapshot() []ainfo {
+	out := make([]ainfo, len(f.infos))
+	copy(out, f.infos)
+	return out
+}
+
+func (f *cframe) restore(s []ainfo) {
+	f.infos = f.infos[:0]
+	f.infos = append(f.infos, s...)
+}
+
+// progChecker holds the whole-program state of one analysis run.
+type progChecker struct {
+	file        string
+	prog        *ir.Program
+	h           *hier.Hierarchy
+	opts        Options
+	live        *bits.Set // instantiated classes, or nil
+	universe    *bits.Set // all classes a value can have: AllClasses ∩ live
+	globalInfos []ainfo
+	diags       []Diagnostic
+}
+
+// liveOnly sharpens a class set with the instantiation analysis,
+// allocating rather than mutating (the input may be a shared memo).
+func (pc *progChecker) liveOnly(s *bits.Set) *bits.Set {
+	if pc.live == nil {
+		return s
+	}
+	return bits.Intersect(s, pc.live)
+}
+
+// computeGlobalInfos mirrors the optimizer's constant propagation for
+// never-assigned globals.
+func (pc *progChecker) computeGlobalInfos() {
+	pc.globalInfos = make([]ainfo, len(pc.prog.Globals))
+	for i := range pc.globalInfos {
+		pc.globalInfos[i] = aTop()
+	}
+	for i, g := range pc.prog.Globals {
+		if pc.prog.GlobalAssigned[i] {
+			continue
+		}
+		pc.globalInfos[i] = pc.initInfo(g.Init, i)
+	}
+}
+
+func (pc *progChecker) initInfo(nd ir.Node, before int) ainfo {
+	h := pc.h
+	switch nd := nd.(type) {
+	case *ir.Const:
+		return constAInfo(h, nd)
+	case *ir.New:
+		return aExact(h, nd.Class)
+	case *ir.MakeClosure:
+		return aExact(h, h.Builtin(hier.ClosureName))
+	case *ir.Global:
+		if nd.Slot < before && !pc.prog.GlobalAssigned[nd.Slot] {
+			return pc.initInfo(pc.prog.Globals[nd.Slot].Init, nd.Slot)
+		}
+		return aTop()
+	default:
+		return aTop()
+	}
+}
+
+func constAInfo(h *hier.Hierarchy, c *ir.Const) ainfo {
+	switch c.Kind {
+	case ir.KInt:
+		return aExact(h, h.Builtin(hier.IntName))
+	case ir.KStr:
+		return aExact(h, h.Builtin(hier.StringName))
+	case ir.KBool:
+		return aExact(h, h.Builtin(hier.BoolName))
+	default:
+		return aExact(h, h.Builtin(hier.NilName))
+	}
+}
+
+// bodyChecker analyzes one method body (or top-level initializer).
+type bodyChecker struct {
+	pc     *progChecker
+	method *hier.Method // nil for top-level code
+	frames []*cframe    // frames[0] is the method frame, when present
+}
+
+// checkBody analyzes a method body under class-hierarchy-derived formal
+// information: each formal starts at the method's ApplicableClasses set
+// when exact, else at the cone of its specializer — every tuple that
+// can actually dispatch here lies inside that product.
+func (pc *progChecker) checkBody(m *hier.Method) {
+	src := pc.prog.Bodies[m]
+	if src == nil {
+		return
+	}
+	f := newCFrame(src.NumSlots, true)
+	app, exact := pc.h.ApplicableClassesExact(m)
+	if !exact {
+		app = pc.h.GeneralTuple(m)
+	}
+	for i, s := range app {
+		f.infos[i] = ainfo{set: pc.liveOnly(s)}
+	}
+	bc := &bodyChecker{pc: pc, method: m, frames: []*cframe{f}}
+	bc.poisonClosureWrites(src.Code)
+	bc.eval(src.Code)
+}
+
+// checkTopLevel analyzes a global or field initializer (no frame).
+func (pc *progChecker) checkTopLevel(n ir.Node) {
+	bc := &bodyChecker{pc: pc}
+	bc.eval(n)
+}
+
+func (bc *bodyChecker) curFrame() *cframe {
+	if len(bc.frames) == 0 {
+		return nil
+	}
+	return bc.frames[len(bc.frames)-1]
+}
+
+func (bc *bodyChecker) frameAt(depth int) *cframe {
+	idx := len(bc.frames) - 1 - depth
+	if idx < 0 || idx >= len(bc.frames) {
+		return nil
+	}
+	return bc.frames[idx]
+}
+
+// poisonClosureWrites marks slots that closures in the tree can write:
+// such slots must be Top everywhere, because a closure may run at any
+// later point. Identical to the optimizer's rule.
+func (bc *bodyChecker) poisonClosureWrites(n ir.Node) {
+	if len(bc.frames) == 0 {
+		return
+	}
+	var walk func(n ir.Node, nesting int)
+	walk = func(n ir.Node, nesting int) {
+		ir.Walk(n, func(ch ir.Node) bool {
+			switch ch := ch.(type) {
+			case *ir.MakeClosure:
+				walk(ch.Fn.Body, nesting+1)
+				return false
+			case *ir.SetLocal:
+				if nesting > 0 && ch.Depth >= nesting {
+					hops := ch.Depth - nesting
+					if f := bc.frameAt(hops); f != nil {
+						f.poisoned[ch.Slot] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(n, 0)
+}
+
+// degradeAssigned widens every current-frame slot assigned inside a
+// loop to the join of its pre-loop info with a state-independent bound
+// of each assigned right-hand side, so one pass over the loop body is
+// sound (loop counters stay {Int} instead of collapsing to Top).
+func (bc *bodyChecker) degradeAssigned(n ir.Node) {
+	f := bc.curFrame()
+	if f == nil {
+		return
+	}
+	var walk func(n ir.Node, nesting int)
+	walk = func(n ir.Node, nesting int) {
+		ir.Walk(n, func(ch ir.Node) bool {
+			switch ch := ch.(type) {
+			case *ir.MakeClosure:
+				walk(ch.Fn.Body, nesting+1)
+				return false
+			case *ir.SetLocal:
+				if ch.Depth == nesting {
+					if nesting == 0 {
+						f.set(ch.Slot, aJoin(f.get(ch.Slot), bc.quickInfo(ch.X)))
+					} else {
+						f.set(ch.Slot, aTop())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(n, 0)
+}
+
+// quickInfo bounds an expression's classes without consulting analysis
+// state, so the bound holds at every loop iteration.
+func (bc *bodyChecker) quickInfo(n ir.Node) ainfo {
+	h := bc.pc.h
+	switch n := n.(type) {
+	case *ir.Const:
+		return constAInfo(h, n)
+	case *ir.New:
+		return aExact(h, n.Class)
+	case *ir.MakeClosure:
+		return aExact(h, h.Builtin(hier.ClosureName))
+	case *ir.Bin:
+		switch n.Op {
+		case ir.OpLT, ir.OpLE, ir.OpGT, ir.OpGE, ir.OpEQ, ir.OpNE:
+			return aExact(h, h.Builtin(hier.BoolName))
+		case ir.OpAdd:
+			li, ri := bc.quickInfo(n.L), bc.quickInfo(n.R)
+			intC := h.Builtin(hier.IntName)
+			strC := h.Builtin(hier.StringName)
+			canBe := func(in ainfo, c *hier.Class) bool { return in.top || in.set.Has(c.ID) }
+			s := bits.New(h.NumClasses())
+			if canBe(li, intC) && canBe(ri, intC) {
+				s.Add(intC.ID)
+			}
+			if canBe(li, strC) && canBe(ri, strC) {
+				s.Add(strC.ID)
+			}
+			if s.Empty() {
+				s.Add(intC.ID) // mismatched operands error at runtime
+			}
+			return ainfo{set: s}
+		default:
+			return aExact(h, h.Builtin(hier.IntName))
+		}
+	case *ir.Un:
+		if n.Op == ir.OpNot {
+			return aExact(h, h.Builtin(hier.BoolName))
+		}
+		return aExact(h, h.Builtin(hier.IntName))
+	case *ir.And, *ir.Or:
+		return aExact(h, h.Builtin(hier.BoolName))
+	case *ir.PrimCall:
+		return bc.primInfo(n.Prim)
+	case *ir.Seq:
+		if len(n.Nodes) == 0 {
+			return aExact(h, h.Builtin(hier.NilName))
+		}
+		return bc.quickInfo(n.Nodes[len(n.Nodes)-1])
+	case *ir.SetLocal:
+		return bc.quickInfo(n.X)
+	case *ir.If:
+		ti := bc.quickInfo(n.Then)
+		if n.Else == nil {
+			return aJoin(ti, aExact(h, h.Builtin(hier.NilName)))
+		}
+		return aJoin(ti, bc.quickInfo(n.Else))
+	default:
+		return aTop()
+	}
+}
+
+func (bc *bodyChecker) primInfo(p ir.Prim) ainfo {
+	h := bc.pc.h
+	switch p {
+	case ir.PrimStr, ir.PrimSubstr, ir.PrimCharAt, ir.PrimChr, ir.PrimClassName:
+		return aExact(h, h.Builtin(hier.StringName))
+	case ir.PrimNewArray:
+		return aExact(h, h.Builtin(hier.ArrayName))
+	case ir.PrimALen, ir.PrimStrLen, ir.PrimOrd:
+		return aExact(h, h.Builtin(hier.IntName))
+	case ir.PrimSame:
+		return aExact(h, h.Builtin(hier.BoolName))
+	case ir.PrimPrint, ir.PrimPrintln, ir.PrimAbort:
+		return aExact(h, h.Builtin(hier.NilName))
+	default: // aget, aput: element type unknown
+		return aTop()
+	}
+}
+
+// fieldInfo bounds a field read from declared field types (enforced at
+// every store). Unlike the optimizer this always applies — the checker
+// wants the sharpest sound information regardless of configuration.
+func (bc *bodyChecker) fieldInfo(name string, oi ainfo) ainfo {
+	pc := bc.pc
+	out := bits.New(pc.h.NumClasses())
+	consider := func(c *hier.Class) bool {
+		idx := c.FieldIndex(name)
+		if idx < 0 {
+			return true // read would fail at runtime: contributes no value
+		}
+		dt := c.Fields[idx].DeclType
+		if dt == nil {
+			return false // untyped field: anything
+		}
+		out.AddAll(dt.Cone())
+		return true
+	}
+	if oi.top {
+		for _, c := range pc.h.Classes() {
+			if !consider(c) {
+				return aTop()
+			}
+		}
+		return ainfo{set: pc.liveOnly(out)}
+	}
+	ok := true
+	oi.set.ForEach(func(id int) bool {
+		ok = consider(pc.h.Classes()[id])
+		return ok
+	})
+	if !ok {
+		return aTop()
+	}
+	return ainfo{set: pc.liveOnly(out)}
+}
+
+// eval computes the class info of a node, updating frame state and
+// checking every message send it encounters.
+func (bc *bodyChecker) eval(n ir.Node) ainfo {
+	h := bc.pc.h
+	switch n := n.(type) {
+	case *ir.Const:
+		return constAInfo(h, n)
+
+	case *ir.Local:
+		if f := bc.frameAt(n.Depth); f != nil {
+			return f.get(n.Slot)
+		}
+		return aTop()
+
+	case *ir.SetLocal:
+		xi := bc.eval(n.X)
+		if f := bc.frameAt(n.Depth); f != nil {
+			if n.Depth == 0 {
+				f.set(n.Slot, xi)
+			} else {
+				f.set(n.Slot, aTop())
+			}
+		}
+		return xi
+
+	case *ir.Global:
+		return bc.pc.globalInfos[n.Slot]
+
+	case *ir.SetGlobal:
+		return bc.eval(n.X)
+
+	case *ir.GetField:
+		oi := bc.eval(n.Obj)
+		return bc.fieldInfo(n.Name, oi)
+
+	case *ir.SetField:
+		bc.eval(n.Obj)
+		return bc.eval(n.X)
+
+	case *ir.Seq:
+		last := aExact(h, h.Builtin(hier.NilName))
+		for _, ch := range n.Nodes {
+			last = bc.eval(ch)
+		}
+		return last
+
+	case *ir.If:
+		bc.eval(n.Cond)
+		f := bc.curFrame()
+		var pre, post []ainfo
+		if f != nil {
+			pre = f.snapshot()
+		}
+		ti := bc.eval(n.Then)
+		if f != nil {
+			post = f.snapshot()
+			f.restore(pre)
+		}
+		ei := aExact(h, h.Builtin(hier.NilName))
+		if n.Else != nil {
+			ei = bc.eval(n.Else)
+		}
+		if f != nil {
+			for i := range f.infos {
+				other := aTop()
+				if i < len(post) {
+					other = post[i]
+				}
+				f.infos[i] = aJoin(f.infos[i], other)
+			}
+		}
+		return aJoin(ti, ei)
+
+	case *ir.While:
+		bc.degradeAssigned(n)
+		bc.eval(n.Cond)
+		bc.eval(n.Body)
+		return aExact(h, h.Builtin(hier.NilName))
+
+	case *ir.Return:
+		if n.X != nil {
+			bc.eval(n.X)
+		}
+		// Control never continues past a return: bottom (join identity).
+		return ainfo{set: bits.New(h.NumClasses())}
+
+	case *ir.New:
+		for _, arg := range n.Args {
+			bc.eval(arg)
+		}
+		return aExact(h, n.Class)
+
+	case *ir.MakeClosure:
+		bc.checkClosureBody(n.Fn)
+		return aExact(h, h.Builtin(hier.ClosureName))
+
+	case *ir.CallClosure:
+		bc.eval(n.Fn)
+		for _, arg := range n.Args {
+			bc.eval(arg)
+		}
+		return aTop()
+
+	case *ir.Send:
+		infos := make([]ainfo, len(n.Args))
+		for i, arg := range n.Args {
+			infos[i] = bc.eval(arg)
+		}
+		bc.checkSend(n.Site, infos)
+		return aTop()
+
+	case *ir.StaticCall:
+		for _, arg := range n.Args {
+			bc.eval(arg)
+		}
+		return aTop()
+
+	case *ir.VersionSelect:
+		for _, arg := range n.Args {
+			bc.eval(arg)
+		}
+		return aTop()
+
+	case *ir.Bin:
+		li := bc.eval(n.L)
+		ri := bc.eval(n.R)
+		switch n.Op {
+		case ir.OpLT, ir.OpLE, ir.OpGT, ir.OpGE, ir.OpEQ, ir.OpNE:
+			return aExact(h, h.Builtin(hier.BoolName))
+		case ir.OpAdd:
+			intC, strC := h.Builtin(hier.IntName), h.Builtin(hier.StringName)
+			onlyInt := !li.top && li.set.SubsetOf(intC.Cone()) && !ri.top && ri.set.SubsetOf(intC.Cone())
+			onlyStr := !li.top && li.set.SubsetOf(strC.Cone()) && !ri.top && ri.set.SubsetOf(strC.Cone())
+			switch {
+			case onlyInt:
+				return aExact(h, intC)
+			case onlyStr:
+				return aExact(h, strC)
+			default:
+				s := bits.New(h.NumClasses())
+				s.Add(intC.ID)
+				s.Add(strC.ID)
+				return ainfo{set: s}
+			}
+		default:
+			return aExact(h, h.Builtin(hier.IntName))
+		}
+
+	case *ir.Un:
+		bc.eval(n.X)
+		if n.Op == ir.OpNot {
+			return aExact(h, h.Builtin(hier.BoolName))
+		}
+		return aExact(h, h.Builtin(hier.IntName))
+
+	case *ir.PrimCall:
+		for _, arg := range n.Args {
+			bc.eval(arg)
+		}
+		return bc.primInfo(n.Prim)
+
+	case *ir.And:
+		bc.eval(n.L)
+		f := bc.curFrame()
+		var pre []ainfo
+		if f != nil {
+			pre = f.snapshot()
+		}
+		bc.eval(n.R)
+		if f != nil {
+			// R may not execute; join with the pre-state.
+			for i := range f.infos {
+				if i < len(pre) {
+					f.infos[i] = aJoin(f.infos[i], pre[i])
+				}
+			}
+		}
+		return aExact(h, h.Builtin(hier.BoolName))
+
+	case *ir.Or:
+		bc.eval(n.L)
+		f := bc.curFrame()
+		var pre []ainfo
+		if f != nil {
+			pre = f.snapshot()
+		}
+		bc.eval(n.R)
+		if f != nil {
+			for i := range f.infos {
+				if i < len(pre) {
+					f.infos[i] = aJoin(f.infos[i], pre[i])
+				}
+			}
+		}
+		return aExact(h, h.Builtin(hier.BoolName))
+	}
+	panic(fmt.Sprintf("check: unknown node %T", n))
+}
+
+// checkClosureBody analyzes a closure body at its creation point. Outer
+// frames are visible only in guarded form: every slot Top except the
+// enclosing method's never-assigned, unpoisoned formals, whose class
+// sets are stable for the whole activation.
+func (bc *bodyChecker) checkClosureBody(code *ir.ClosureCode) {
+	saved := bc.frames
+	guarded := make([]*cframe, len(saved))
+	for i, f := range saved {
+		g := newCFrame(len(f.infos), f.isMethod)
+		if i == 0 && f.isMethod && bc.method != nil {
+			src := bc.pc.prog.Bodies[bc.method]
+			for slot := 0; slot < len(src.AssignedFormals) && slot < len(f.infos); slot++ {
+				if !src.AssignedFormals[slot] && !f.poisoned[slot] {
+					g.infos[slot] = f.infos[slot]
+				}
+			}
+		}
+		guarded[i] = g
+	}
+	cf := newCFrame(code.NumSlots, false)
+	bc.frames = append(guarded, cf)
+	bc.poisonClosureWrites(code.Body)
+	bc.eval(code.Body)
+	bc.frames = saved
+}
+
+// checkSend enumerates the concrete class tuples a send could dispatch
+// with and diagnoses the ones multi-method Lookup rejects.
+//
+// One refinement keeps the flow-insensitive analysis useful on real
+// programs: a failing tuple with Nil at a dispatched position whose set
+// also admits other classes is skipped, not reported. Such Nils almost
+// always flow from "not yet linked" fields and locals that the program
+// guards with explicit nil tests the analysis cannot see (every linked
+// structure in the benchmark suite does this). Nil is reported only
+// when it is the *sole* possibility at a position — then no guard can
+// save the send. Skipped tuples still suppress escalation to error.
+func (bc *bodyChecker) checkSend(site *ir.CallSite, infos []ainfo) {
+	pc := bc.pc
+	h := pc.h
+	g := site.GF
+	dpos := g.DispatchedPositions()
+	if len(dpos) == 0 {
+		return // at most one method (duplicate specializers are rejected)
+	}
+
+	nilID := h.Builtin(hier.NilName).ID
+	size := 1
+	for _, p := range dpos {
+		in := infos[p]
+		if in.top || pc.universe.SubsetOf(in.set) {
+			// Top, or a set no sharper than "every class in the program":
+			// the analysis has no actual information about this position,
+			// so reporting would flag every send on an unconstrained
+			// formal. Nothing to prove either way.
+			return
+		}
+		n := in.set.Len()
+		if n == 0 {
+			return // dead code
+		}
+		size *= n
+		if size > pc.opts.productLimit() {
+			return
+		}
+	}
+
+	classes := make([]*hier.Class, g.Arity)
+	for i := range classes {
+		classes[i] = h.Any()
+	}
+	elems := make([][]int, len(dpos))
+	for i, p := range dpos {
+		elems[i] = infos[p].set.Elems()
+	}
+
+	var (
+		successes, skipped int
+		mnu, ambig         []string
+		mnuCount, ambCount int
+	)
+	const maxExamples = 3
+	render := func() string {
+		parts := make([]string, g.Arity)
+		for i := range parts {
+			parts[i] = "_"
+		}
+		for _, p := range dpos {
+			parts[p] = classes[p].Name
+		}
+		return fmt.Sprintf("%s(%s)", g.Name, strings.Join(parts, ", "))
+	}
+
+	idx := make([]int, len(dpos))
+	for {
+		for i, p := range dpos {
+			classes[p] = h.Classes()[elems[i][idx[i]]]
+		}
+		_, derr := h.Lookup(g, classes...)
+		switch {
+		case derr == nil:
+			successes++
+		case derr.Ambiguous:
+			ambCount++
+			if len(ambig) < maxExamples {
+				ambig = append(ambig, render())
+			}
+		default: // message not understood
+			guardable := false
+			for i, p := range dpos {
+				if classes[p].ID == nilID && len(elems[i]) > 1 {
+					guardable = true
+					break
+				}
+			}
+			if guardable {
+				skipped++
+			} else {
+				mnuCount++
+				if len(mnu) < maxExamples {
+					mnu = append(mnu, render())
+				}
+			}
+		}
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(elems[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	if mnuCount > 0 {
+		sev := SevWarning
+		if successes == 0 && ambCount == 0 && skipped == 0 {
+			sev = SevError // every possible tuple fails: the send cannot succeed
+		}
+		pc.report(CheckPossibleMNU, sev, site.Pos,
+			"no applicable method for %s: %s fails for %d of %d possible class tuple%s",
+			g.Key(), exampleList(mnu, mnuCount), mnuCount, size, plural(size))
+	}
+	if ambCount > 0 {
+		pc.report(CheckAmbiguous, SevWarning, site.Pos,
+			"ambiguous dispatch for %s: %s has no unique most-specific method (%d of %d possible class tuple%s)",
+			g.Key(), exampleList(ambig, ambCount), ambCount, size, plural(size))
+	}
+}
+
+func exampleList(examples []string, total int) string {
+	s := strings.Join(examples, ", ")
+	if total > len(examples) {
+		s += fmt.Sprintf(", ... (%d total)", total)
+	}
+	return s
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

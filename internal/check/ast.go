@@ -1,0 +1,182 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+)
+
+// astChecker walks the parsed program before lowering, mirroring the
+// lowerer's call-resolution rules (variable → closure call, else
+// generic function, else primitive) to diagnose arity and selector
+// mismatches. Running on the AST matters: these mistakes are lowering
+// errors, so the IR-level analyses never get to see them.
+type astChecker struct {
+	file    string
+	h       *hier.Hierarchy
+	globals map[string]bool
+	scopes  []map[string]bool
+	diags   []Diagnostic
+}
+
+// checkAST reports every arity/selector mismatch in the program.
+func checkAST(file string, p *lang.Program, h *hier.Hierarchy) []Diagnostic {
+	ac := &astChecker{file: file, h: h, globals: map[string]bool{}}
+	for _, g := range p.Globals {
+		ac.globals[g.Name] = true
+	}
+	for _, g := range p.Globals {
+		ac.expr(g.Init)
+	}
+	for _, c := range p.Classes {
+		for _, f := range c.Fields {
+			if f.Init != nil {
+				ac.expr(f.Init)
+			}
+		}
+	}
+	for _, m := range p.Methods {
+		ac.push()
+		for _, prm := range m.Params {
+			ac.bind(prm.Name)
+		}
+		ac.block(m.Body)
+		ac.pop()
+	}
+	return ac.diags
+}
+
+func (ac *astChecker) push() { ac.scopes = append(ac.scopes, map[string]bool{}) }
+func (ac *astChecker) pop()  { ac.scopes = ac.scopes[:len(ac.scopes)-1] }
+
+func (ac *astChecker) bind(name string) { ac.scopes[len(ac.scopes)-1][name] = true }
+
+// isVariable reports whether name resolves to a local, formal or global
+// — in which case a call through it is a closure call of unknowable
+// arity, not a send.
+func (ac *astChecker) isVariable(name string) bool {
+	for i := len(ac.scopes) - 1; i >= 0; i-- {
+		if ac.scopes[i][name] {
+			return true
+		}
+	}
+	return ac.globals[name]
+}
+
+func (ac *astChecker) report(pos lang.Pos, format string, args ...any) {
+	ac.diags = append(ac.diags, Diagnostic{
+		Check:    CheckArityMismatch,
+		Severity: SevError,
+		File:     ac.file,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkSelector diagnoses a send to sel with the given argument count
+// when no matching generic function exists.
+func (ac *astChecker) checkSelector(pos lang.Pos, sel string, arity int, receiverSyntax bool) {
+	if _, ok := ac.h.GF(sel, arity); ok {
+		return
+	}
+	if !receiverSyntax {
+		if primArity, ok := ir.PrimSignature(sel); ok {
+			if primArity != arity {
+				ac.report(pos, "primitive %s takes %d arguments, got %d", sel, primArity, arity)
+			}
+			return
+		}
+	}
+	if arities := ac.h.Arities(sel); len(arities) > 0 {
+		ss := make([]string, len(arities))
+		for i, a := range arities {
+			ss[i] = fmt.Sprintf("%s/%d", sel, a)
+		}
+		ac.report(pos, "no method %s/%d; defined: %s", sel, arity, strings.Join(ss, ", "))
+		return
+	}
+	ac.report(pos, "unknown selector %s/%d", sel, arity)
+}
+
+func (ac *astChecker) block(b *lang.Block) {
+	if b == nil {
+		return
+	}
+	ac.push()
+	for _, s := range b.Stmts {
+		ac.stmt(s)
+	}
+	ac.pop()
+}
+
+func (ac *astChecker) stmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.VarStmt:
+		ac.expr(s.Init)
+		ac.bind(s.Name)
+	case *lang.ExprStmt:
+		ac.expr(s.X)
+	case *lang.AssignStmt:
+		ac.expr(s.LHS)
+		ac.expr(s.RHS)
+	case *lang.ReturnStmt:
+		if s.X != nil {
+			ac.expr(s.X)
+		}
+	case *lang.WhileStmt:
+		ac.expr(s.Cond)
+		ac.block(s.Body)
+	case *lang.IfStmt:
+		ac.expr(s.Cond)
+		ac.block(s.Then)
+		ac.block(s.Else)
+	}
+}
+
+func (ac *astChecker) expr(e lang.Expr) {
+	switch e := e.(type) {
+	case *lang.Call:
+		for _, a := range e.Args {
+			ac.expr(a)
+		}
+		if ac.isVariable(e.Name) {
+			return // closure call; arity is a runtime property
+		}
+		ac.checkSelector(e.Pos, e.Name, len(e.Args), false)
+	case *lang.SendSugar:
+		ac.expr(e.Recv)
+		for _, a := range e.Args {
+			ac.expr(a)
+		}
+		ac.checkSelector(e.Pos, e.Sel, 1+len(e.Args), true)
+	case *lang.FieldAccess:
+		ac.expr(e.Recv)
+	case *lang.ApplyExpr:
+		ac.expr(e.Fn)
+		for _, a := range e.Args {
+			ac.expr(a)
+		}
+	case *lang.NewExpr:
+		for _, a := range e.Args {
+			ac.expr(a)
+		}
+	case *lang.FnExpr:
+		ac.push()
+		for _, p := range e.Params {
+			ac.bind(p)
+		}
+		ac.block(e.Body)
+		ac.pop()
+	case *lang.UnaryExpr:
+		ac.expr(e.X)
+	case *lang.BinaryExpr:
+		ac.expr(e.L)
+		ac.expr(e.R)
+	case *lang.BlockExpr:
+		ac.block(e.Block)
+	}
+}

@@ -1,0 +1,37 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Format names accepted by the CLI's -format flag; the first is the
+// default. Single source of truth for help text and validation.
+func Formats() []string { return []string{"text", "json"} }
+
+// WriteText renders diagnostics one per line as
+// "file:line:col: severity: message [check-id]".
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array — "[]" when
+// there are none, so consumers always parse a list.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	out, err := json.MarshalIndent(ds, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

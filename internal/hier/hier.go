@@ -283,6 +283,20 @@ func (h *Hierarchy) GF(name string, arity int) (*GF, bool) {
 	return g, ok
 }
 
+// Arities returns the sorted arities for which a generic function with
+// the given name is defined (diagnostics: "f/1 undefined, but f/2
+// exists").
+func (h *Hierarchy) Arities(name string) []int {
+	var out []int
+	for _, g := range h.gfList {
+		if g.Name == name {
+			out = append(out, g.Arity)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // AddClass declares a new class. Parents defaults to [Any] when empty.
 // Field layouts are flattened immediately, so parents must be declared
 // before children (the program loader guarantees this by processing

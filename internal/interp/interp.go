@@ -3,10 +3,12 @@ package interp
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"selspec/internal/dispatch"
 	"selspec/internal/hier"
 	"selspec/internal/ir"
+	"selspec/internal/lang"
 	"selspec/internal/opt"
 	"selspec/internal/profile"
 )
@@ -30,6 +32,20 @@ const (
 var mechNames = [...]string{"PIC", "Global", "Tables"}
 
 func (m Mechanism) String() string { return mechNames[m] }
+
+// MechanismNames returns the valid dispatch-mechanism names — the
+// single source of truth for CLI help text and error messages.
+func MechanismNames() []string { return append([]string(nil), mechNames[:]...) }
+
+// ParseMechanism resolves a mechanism name (as printed by String).
+func ParseMechanism(s string) (Mechanism, error) {
+	for i, n := range mechNames {
+		if n == s {
+			return Mechanism(i), nil
+		}
+	}
+	return 0, fmt.Errorf("interp: unknown dispatch mechanism %q (valid: %s)", s, strings.Join(mechNames[:], ", "))
+}
 
 // Cycle cost model: abstract costs that mirror what the operations
 // would cost in the paper's compiled code. Wall-clock interpreter time
@@ -144,6 +160,13 @@ func fail(format string, args ...any) {
 	panic(&RuntimeError{Msg: fmt.Sprintf(format, args...)})
 }
 
+// failAt raises a Mini-Cecil runtime error anchored at a source
+// position, so runtime dispatch faults point at the same location as
+// the static diagnostics of internal/check.
+func failAt(pos lang.Pos, format string, args ...any) {
+	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
 func (in *Interp) charge(c uint64) { in.Counters.Cycles += c }
 
 func (in *Interp) step() {
@@ -256,7 +279,7 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 		in.charge(CostFullLookup)
 		m, derr := in.H.Lookup(site.GF, classes...)
 		if derr != nil {
-			fail("%v", derr)
+			failAt(site.Pos, "%v", derr)
 		}
 		v := in.C.SelectVersion(m, classes)
 		pic.Add(classes, dispatch.Target{Method: m, Version: v})
@@ -268,21 +291,22 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 		in.charge(CostFullLookup)
 		m, derr := in.H.Lookup(site.GF, classes...)
 		if derr != nil {
-			fail("%v", derr)
+			failAt(site.Pos, "%v", derr)
 		}
 		in.record(site, m)
 		return in.C.SelectVersion(m, classes)
 
 	case MechTables:
 		in.charge(CostTableLookup)
-		m := in.tableLookup(site.GF, classes)
+		m := in.tableLookup(site, classes)
 		in.record(site, m)
 		return in.C.SelectVersion(m, classes)
 	}
 	panic("interp: unknown mechanism")
 }
 
-func (in *Interp) tableLookup(g *hier.GF, classes []*hier.Class) *hier.Method {
+func (in *Interp) tableLookup(site *ir.CallSite, classes []*hier.Class) *hier.Method {
+	g := site.GF
 	if len(g.DispatchedPositions()) == 0 {
 		if len(g.Methods) == 1 {
 			return g.Methods[0]
@@ -304,9 +328,9 @@ func (in *Interp) tableLookup(g *hier.GF, classes []*hier.Class) *hier.Method {
 			names[i] = c.Name
 		}
 		if amb {
-			fail("message ambiguous: %s(%v)", g.Name, names)
+			failAt(site.Pos, "message ambiguous: %s(%s)", g.Name, strings.Join(names, ", "))
 		}
-		fail("message not understood: %s(%v)", g.Name, names)
+		failAt(site.Pos, "message not understood: %s(%s)", g.Name, strings.Join(names, ", "))
 	}
 	return m
 }

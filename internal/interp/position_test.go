@@ -1,0 +1,83 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"selspec/internal/check"
+)
+
+// TestDispatchErrorPositions verifies that runtime dispatch faults are
+// anchored at the source position of the failing send — and that the
+// position is the same one internal/check reports statically, so a
+// runtime trace and a `selspec check` diagnostic point at the same
+// place.
+func TestDispatchErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		errSub    string // substring of the runtime error message
+		checkID   string // static check expected at the same position
+		line, col int
+	}{
+		{
+			name: "message not understood",
+			src: `class A
+class B
+method f(x@A) { 1; }
+method main() { var keep := new A(); f(new B()); }`,
+			errSub:  "message not understood: f(B)",
+			checkID: check.CheckPossibleMNU,
+			line:    4, col: 38,
+		},
+		{
+			name: "ambiguous dispatch",
+			src: `class L
+class R
+class C isa L, R
+method amb(x@L) { 1; }
+method amb(x@R) { 2; }
+method main() { var kl := new L(); var kr := new R(); amb(new C()); }`,
+			errSub:  "message ambiguous: amb(C)",
+			checkID: check.CheckAmbiguous,
+			line:    6, col: 55,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := tryRun(t, tc.src)
+			if err == nil {
+				t.Fatalf("expected a runtime error containing %q", tc.errSub)
+			}
+			var re *RuntimeError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %T is not a *RuntimeError: %v", err, err)
+			}
+			if !strings.Contains(re.Msg, tc.errSub) {
+				t.Errorf("error %q does not contain %q", re.Msg, tc.errSub)
+			}
+			if re.Pos.Line != tc.line || re.Pos.Col != tc.col {
+				t.Errorf("runtime error at %s, want %d:%d", re.Pos, tc.line, tc.col)
+			}
+
+			ds, cerr := check.Source("test.mc", tc.src, check.Options{Instantiation: true})
+			if cerr != nil {
+				t.Fatalf("check.Source: %v", cerr)
+			}
+			found := false
+			for _, d := range ds {
+				if d.Check == tc.checkID {
+					found = true
+					if d.Line != re.Pos.Line || d.Col != re.Pos.Col {
+						t.Errorf("static %s at %d:%d, runtime fault at %s — positions must agree",
+							d.Check, d.Line, d.Col, re.Pos)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("static analysis did not report %s; got:\n%v", tc.checkID, ds)
+			}
+		})
+	}
+}

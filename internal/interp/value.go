@@ -13,6 +13,7 @@ import (
 
 	"selspec/internal/hier"
 	"selspec/internal/ir"
+	"selspec/internal/lang"
 )
 
 // Kind tags a runtime value.
@@ -216,12 +217,20 @@ func (v Value) String() string {
 }
 
 // RuntimeError is a Mini-Cecil runtime error (message-not-understood,
-// type errors, aborts, ...).
+// type errors, aborts, ...). Dispatch faults carry the source position
+// of the failing send, matching the locations internal/check reports
+// statically.
 type RuntimeError struct {
+	Pos lang.Pos // zero when no source location applies
 	Msg string
 }
 
-func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+func (e *RuntimeError) Error() string {
+	if e.Pos.Line > 0 {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
 
 // returnSignal implements (non-local) return via panic/recover.
 type returnSignal struct {

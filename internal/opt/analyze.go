@@ -201,12 +201,14 @@ func (c *Compiled) optimizeTopLevel(n ir.Node) (ir.Node, error) {
 	return out, nil
 }
 
-// computeInstantiated collects every class the program can create: New
+// InstantiatedClasses collects every class the program can create: New
 // nodes anywhere in source bodies, field initializers or global
 // initializers, plus the builtin classes (whose values primitives and
-// literals create).
-func (c *Compiled) computeInstantiated() {
-	h := c.Prog.H
+// literals create). This is the instantiation (RTA-style) analysis the
+// InstantiationAnalysis option compiles against; internal/check reuses
+// it to sharpen its diagnostic class sets the same way.
+func InstantiatedClasses(p *ir.Program) *bits.Set {
+	h := p.H
 	set := bits.New(h.NumClasses())
 	for _, n := range []string{hier.AnyName, hier.IntName, hier.BoolName,
 		hier.StringName, hier.NilName, hier.ArrayName, hier.ClosureName} {
@@ -220,20 +222,26 @@ func (c *Compiled) computeInstantiated() {
 			return true
 		})
 	}
-	for _, b := range c.Prog.Bodies {
+	for _, b := range p.Bodies {
 		collect(b.Code)
 	}
-	for _, g := range c.Prog.Globals {
+	for _, g := range p.Globals {
 		collect(g.Init)
 	}
-	for _, inits := range c.Prog.FieldInits {
+	for _, inits := range p.FieldInits {
 		for _, init := range inits {
 			if init != nil {
 				collect(init)
 			}
 		}
 	}
-	c.instantiated = set
+	return set
+}
+
+// computeInstantiated caches the instantiation analysis for this
+// compilation.
+func (c *Compiled) computeInstantiated() {
+	c.instantiated = InstantiatedClasses(c.Prog)
 }
 
 // liveOnly intersects an analysis class set with the instantiated set

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +52,10 @@ func (c Config) String() string {
 	return fmt.Sprintf("Config(%d)", int(c))
 }
 
+// ConfigNames returns the valid configuration names in paper order —
+// the single source of truth for CLI help text and error messages.
+func ConfigNames() []string { return append([]string(nil), configNames[:]...) }
+
 // ParseConfig resolves a configuration name (as printed by String).
 func ParseConfig(s string) (Config, error) {
 	for i, n := range configNames {
@@ -58,7 +63,7 @@ func ParseConfig(s string) (Config, error) {
 			return Config(i), nil
 		}
 	}
-	return 0, fmt.Errorf("opt: unknown configuration %q", s)
+	return 0, fmt.Errorf("opt: unknown configuration %q (valid: %s)", s, strings.Join(configNames[:], ", "))
 }
 
 // Configs lists all configurations in paper order.

@@ -226,7 +226,26 @@ method main() {
     total := total + b.listSchedule();
     blk := blk + 1;
   }
-  println("total schedule length=" + str(total));
+  -- Cold classification census over one extra small block (plus an
+  -- explicit nop, the only kind the generator never emits): exercises
+  -- the memory/barrier predicate hierarchy without perturbing the
+  -- schedules measured above.
+  var census := mkblock(r, 8);
+  var memOps := 0;
+  var barriers := 0;
+  var j := 0;
+  while j < census.n {
+    var ins := aget(census.instrs, j);
+    if ins.readsMem() || ins.writesMem() { memOps := memOps + 1; }
+    if ins.isBarrier() { barriers := barriers + 1; }
+    j := j + 1;
+  }
+  var nop := new NopInstr(-1, -1, -1, -1);
+  if nop.writesReg() || nop.readsMem() || nop.writesMem() || nop.isBarrier() {
+    barriers := barriers + 1;
+  }
+  println("total schedule length=" + str(total)
+    + " censusMem=" + str(memOps) + " censusBarriers=" + str(barriers));
   total;
 }
 `

@@ -28,9 +28,32 @@ func All() []Benchmark {
 	return []Benchmark{Richards(), InstSched(), Typechecker(), Compiler()}
 }
 
-// ByName finds a benchmark by (case-sensitive) name.
+// Suite returns the five embedded benchmark programs: the four Table 2
+// benchmarks plus the §2 Set example.
+func Suite() []Benchmark {
+	return append(All(), Sets())
+}
+
+// Registry returns every embedded program selectable by name, in
+// deterministic order — the single source of truth behind ByName and
+// the CLI's -bench option list.
+func Registry() []Benchmark {
+	return append(Suite(), Collections())
+}
+
+// Names returns the names of every embedded program, in Registry order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, b := range reg {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ByName finds an embedded program by (case-sensitive) name.
 func ByName(name string) (Benchmark, bool) {
-	for _, b := range All() {
+	for _, b := range Registry() {
 		if b.Name == name {
 			return b, true
 		}
@@ -183,7 +206,6 @@ class HandlerTask isa UserTask { field v1 := nil; field v2 := nil; }
 
 -- Shared utilities on the abstract layers.
 method kindName(t@Task) { "task"; }
-method kindName(t@SystemTask) { "system"; }
 method kindName(t@UserTask) { "user"; }
 method isUserWork(t@Task) { false; }
 method isUserWork(t@UserTask) { true; }
@@ -204,7 +226,7 @@ method addTCB(s@Scheduler, id@Int, priority@Int, queue, task@Task) {
 
 method addIdleTask(s@Scheduler, id@Int, priority@Int, queue, count@Int) {
   var tcb := s.addTCB(id, priority, queue, new IdleTask(s, 1, count));
-  tcb.state := STATE_RUNNING;
+  tcb.setRunning();
   tcb;
 }
 method addWorkerTask(s@Scheduler, id@Int, priority@Int, queue) {
@@ -234,7 +256,7 @@ method runTCB(t@TaskControlBlock) {
   if t.state == STATE_SUSPENDED_RUNNABLE {
     packet := t.queue;
     t.queue := packet.link;
-    if t.queue == nil { t.state := STATE_RUNNING; }
+    if t.queue == nil { t.setRunning(); }
     else { t.state := STATE_RUNNABLE; }
   }
   run(t.task, packet);

@@ -46,7 +46,6 @@ method typeEq(a@TFun, b@TFun) {
 }
 method typeEq(a@TError, b@TError) { true; }
 
-method typeName(t@Type) { "?"; }
 method typeName(t@TInt) { "int"; }
 method typeName(t@TBool) { "bool"; }
 method typeName(t@TError) { "error"; }
@@ -181,10 +180,12 @@ method main() {
   var ok := 0;
   var bad := 0;
   var funs := 0;
+  var nameChars := 0;
   var round := 0;
   while round < tcRounds {
     var e := genExpr(g, tcDepth);
     var t := e.check(env);
+    nameChars := nameChars + strlen(t.typeName());
     if t.isError() { bad := bad + 1; }
     else {
       ok := ok + 1;
@@ -192,7 +193,8 @@ method main() {
     }
     round := round + 1;
   }
-  println("ok=" + str(ok) + " bad=" + str(bad) + " funs=" + str(funs));
+  println("ok=" + str(ok) + " bad=" + str(bad) + " funs=" + str(funs)
+          + " nameChars=" + str(nameChars));
   ok * 1000000 + bad * 1000 + funs;
 }
 `
