@@ -46,6 +46,9 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "write the perf trajectory (wall, cycles, dispatches) to -out")
 		outPath   = flag.String("out", "BENCH_paperbench.json", "output path for -json")
 		threshold = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold")
+		steplimit = flag.Uint64("steplimit", 0, "per-cell interpreter step budget (0 = unlimited)")
+		depth     = flag.Int("depthlimit", 0, "per-cell call-depth limit (0 = interpreter default, negative = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 
@@ -62,18 +65,20 @@ func run() error {
 		return fmt.Errorf("unknown table %q", *table)
 	}
 
+	ho := bench.Options{
+		Quick:      *quick,
+		SpecParams: specialize.Params{Threshold: *threshold},
+		StepLimit:  *steplimit,
+		DepthLimit: *depth,
+		Timeout:    *timeout,
+	}
+
 	if *exts {
-		return bench.Extensions(os.Stdout, bench.Options{
-			Quick:      *quick,
-			SpecParams: specialize.Params{Threshold: *threshold},
-		})
+		return bench.Extensions(os.Stdout, ho)
 	}
 
 	start := time.Now()
-	suite, err := bench.RunSuite(bench.Options{
-		Quick:      *quick,
-		SpecParams: specialize.Params{Threshold: *threshold},
-	})
+	suite, err := bench.RunSuite(ho)
 	suiteWall := time.Since(start)
 	if err != nil {
 		return err
@@ -94,7 +99,9 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (suite wall %s)\n", *outPath, suiteWall.Round(time.Millisecond))
 	case *csvOut:
-		return suite.CSV(os.Stdout)
+		if err := suite.CSV(os.Stdout); err != nil {
+			return err
+		}
 	case *figure == "5a":
 		suite.Figure5a(os.Stdout)
 	case *figure == "5b":
@@ -112,5 +119,25 @@ func run() error {
 	default:
 		suite.Report(os.Stdout)
 	}
+
+	// Contained per-cell failures degrade the report rather than abort
+	// it, but the process still exits non-zero so CI notices.
+	if suite.Failed() {
+		suite.FailureSummary(os.Stderr)
+		return fmt.Errorf("%d of %d grid cells failed", len(suite.Failures),
+			len(suite.Failures)+countResults(suite))
+	}
 	return nil
+}
+
+func countResults(s *bench.Suite) int {
+	n := 0
+	for _, row := range s.Results {
+		for _, r := range row {
+			if r != nil {
+				n++
+			}
+		}
+	}
+	return n
 }

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"selspec/internal/interp"
 	"selspec/internal/ir"
 	"selspec/internal/opt"
+	"selspec/internal/pipeline"
 	"selspec/internal/profile"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
@@ -60,6 +62,8 @@ func run() error {
 		rta        = flag.Bool("instantiation", false, "enable instantiation-aware (RTA-style) class analysis")
 		lazy       = flag.Bool("lazy", false, "lazy (dynamic) compilation: compile method versions on first invocation")
 		stepLimit  = flag.Uint64("step-limit", 0, "abort after this many interpreter steps (0 = unlimited)")
+		depthLimit = flag.Int("depth-limit", 0, "abort beyond this call depth (0 = default limit, negative = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "abort after this wall-clock duration, e.g. 30s (0 = none)")
 		traceDisp  = flag.Bool("trace", false, "trace every dynamic dispatch decision to stderr")
 	)
 	flag.Parse()
@@ -74,7 +78,7 @@ func run() error {
 	}
 
 	// Resolve the program source.
-	var src string
+	var src, label string
 	var train, test map[string]int64
 	switch {
 	case *benchName != "":
@@ -82,26 +86,29 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q (valid: %s)", *benchName, strings.Join(programs.Names(), ", "))
 		}
-		src, train, test = b.Source, b.Train, b.Test
+		src, train, test, label = b.Source, b.Train, b.Test, b.Name
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			return err
 		}
-		src = string(data)
+		src, label = string(data), flag.Arg(0)
 	default:
 		flag.Usage()
 		return fmt.Errorf("expected a program file or -bench name")
 	}
 
-	p, err := driver.Load(src)
+	p, err := driver.LoadNamed(label, src)
 	if err != nil {
 		return err
 	}
+	guards := driver.RunOptions{StepLimit: *stepLimit, DepthLimit: *depthLimit, Timeout: *timeout}
 
 	// Profile-writing mode.
 	if *writeProf != "" {
-		cg, err := p.CollectProfile(driver.RunOptions{Overrides: train, StepLimit: *stepLimit})
+		ro := guards
+		ro.Overrides = train
+		cg, err := p.CollectProfile(ro)
 		if err != nil {
 			return err
 		}
@@ -133,7 +140,9 @@ func run() error {
 				return err
 			}
 		} else {
-			cg, err = p.CollectProfile(driver.RunOptions{Overrides: train, StepLimit: *stepLimit})
+			ro := guards
+			ro.Overrides = train
+			cg, err = p.CollectProfile(ro)
 			if err != nil {
 				return fmt.Errorf("training run: %w", err)
 			}
@@ -146,7 +155,7 @@ func run() error {
 		}
 	}
 
-	c, err := opt.Compile(p.Prog, oo)
+	c, err := pipeline.Compile(label, p.Prog, oo)
 	if err != nil {
 		return err
 	}
@@ -154,6 +163,12 @@ func run() error {
 	in.Out = os.Stdout
 	in.Mech = mech
 	in.StepLimit = *stepLimit
+	in.DepthLimit = *depthLimit
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		in.Ctx = ctx
+	}
 	if *traceDisp {
 		in.Trace = os.Stderr
 	}
@@ -169,7 +184,7 @@ func run() error {
 		}
 	}
 
-	val, rerr := in.Run()
+	val, rerr := pipeline.RunInterp(label, cfg.String(), in)
 	if rerr != nil {
 		return rerr
 	}
@@ -240,7 +255,9 @@ func runCheck(args []string) error {
 	opts := check.Options{Instantiation: *inst}
 	var all []check.Diagnostic
 	for _, u := range units {
-		ds, err := check.Source(u.label, u.src, opts)
+		// The boundary turns an analyzer panic into an error naming the
+		// unit, instead of a crash that loses the other units' output.
+		ds, err := pipeline.CheckSource(u.label, u.src, opts)
 		if err != nil {
 			return err
 		}

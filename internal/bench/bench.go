@@ -8,6 +8,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"selspec/internal/driver"
 	"selspec/internal/interp"
 	"selspec/internal/opt"
+	"selspec/internal/pipeline"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
 )
@@ -49,12 +51,73 @@ type Options struct {
 	// Quick shrinks measurement inputs (for tests); the shape survives.
 	Quick     bool
 	StepLimit uint64
+	// DepthLimit bounds guest call depth per cell (0 = interpreter
+	// default, negative = unlimited).
+	DepthLimit int
+	// Timeout is the per-cell wall-clock budget (0 = none): one
+	// runaway cell cannot stall the whole grid.
+	Timeout time.Duration
+
+	// OptExtra and RunExtra, when non-nil, tweak each cell's compile
+	// and run options (ablations, test fault injection). They run
+	// inside the cell's fault boundary: a panicking hook poisons only
+	// its own cell.
+	OptExtra func(bench string, cfg opt.Config, oo *opt.Options)
+	RunExtra func(bench string, cfg opt.Config, ro *driver.RunOptions)
+}
+
+// runOptions assembles the per-cell RunOptions for one benchmark.
+func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map[string]int64) driver.RunOptions {
+	ro := driver.RunOptions{
+		Overrides:  overrides,
+		Mechanism:  interp.MechPIC,
+		StepLimit:  ho.StepLimit,
+		DepthLimit: ho.DepthLimit,
+		Timeout:    ho.Timeout,
+	}
+	if ho.RunExtra != nil {
+		ho.RunExtra(b.Name, cfg, &ro)
+	}
+	return ro
+}
+
+// Failure records one contained grid-cell fault: the cell (or whole
+// benchmark, when Config is empty and loading failed), the pipeline
+// stage that faulted when known, and the error text. A Failure in the
+// grid never voids the other cells' results.
+type Failure struct {
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config,omitempty"` // empty: benchmark-level (load) failure
+	Stage     string `json:"stage,omitempty"`
+	Error     string `json:"error"`
+}
+
+func (f Failure) String() string {
+	cell := f.Benchmark
+	if f.Config != "" {
+		cell += "/" + f.Config
+	}
+	if f.Stage != "" {
+		cell += " (" + f.Stage + ")"
+	}
+	return cell + ": " + f.Error
+}
+
+// failureOf builds a Failure from a cell error, pulling the stage name
+// out of a contained *pipeline.StageError when one is in the chain.
+func failureOf(bench, config string, err error) Failure {
+	f := Failure{Benchmark: bench, Config: config, Error: err.Error()}
+	var se *pipeline.StageError
+	if errors.As(err, &se) {
+		f.Stage = string(se.Stage)
+	}
+	return f
 }
 
 // Run executes one benchmark under one configuration and collects
 // every metric the figures need.
 func Run(b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
-	p, err := driver.Load(b.Source)
+	p, err := driver.LoadNamed(b.Name, b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
@@ -62,7 +125,9 @@ func Run(b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
 }
 
 // RunOn is Run against an already-loaded pipeline (so a suite can reuse
-// the lowering across configurations).
+// the lowering across configurations). Every stage runs inside the
+// pipeline fault boundary, so an internal panic in any of them comes
+// back as a structured error for this cell only.
 func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
 	test := b.Test
 	if ho.Quick {
@@ -74,17 +139,23 @@ func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options)
 	case opt.CustMM:
 		oo.Lazy = true
 	case opt.Selective:
-		cg, err := p.CollectProfile(driver.RunOptions{Overrides: b.Train, StepLimit: ho.StepLimit})
+		cg, err := p.CollectProfile(ho.runOptions(b, cfg, b.Train))
 		if err != nil {
 			return nil, fmt.Errorf("%s profile: %w", b.Name, err)
 		}
-		res := specialize.Run(p.Prog, cg, ho.SpecParams)
-		oo.Specializations = res.Specializations
-		c, err := opt.Compile(p.Prog, oo)
+		res, err := pipeline.Specialize(b.Name, p.Prog, cg, ho.SpecParams)
 		if err != nil {
 			return nil, err
 		}
-		out, err := measure(c, b, test, ho)
+		oo.Specializations = res.Specializations
+		if ho.OptExtra != nil {
+			ho.OptExtra(b.Name, cfg, &oo)
+		}
+		c, err := pipeline.Compile(b.Name, p.Prog, oo)
+		if err != nil {
+			return nil, err
+		}
+		out, err := measure(c, b, cfg, test, ho)
 		if err != nil {
 			return nil, err
 		}
@@ -92,19 +163,18 @@ func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options)
 		return out, nil
 	}
 
-	c, err := opt.Compile(p.Prog, oo)
+	if ho.OptExtra != nil {
+		ho.OptExtra(b.Name, cfg, &oo)
+	}
+	c, err := pipeline.Compile(b.Name, p.Prog, oo)
 	if err != nil {
 		return nil, err
 	}
-	return measure(c, b, test, ho)
+	return measure(c, b, cfg, test, ho)
 }
 
-func measure(c *opt.Compiled, b programs.Benchmark, test map[string]int64, ho Options) (*Result, error) {
-	res, err := driver.Execute(c, driver.RunOptions{
-		Overrides: test,
-		Mechanism: interp.MechPIC,
-		StepLimit: ho.StepLimit,
-	})
+func measure(c *opt.Compiled, b programs.Benchmark, cfg opt.Config, test map[string]int64, ho Options) (*Result, error) {
+	res, err := driver.Execute(c, ho.runOptions(b, cfg, test))
 	if err != nil {
 		return nil, fmt.Errorf("%s under %v: %w", b.Name, c.Opts.Config, err)
 	}
@@ -121,10 +191,28 @@ func measure(c *opt.Compiled, b programs.Benchmark, test map[string]int64, ho Op
 	}, nil
 }
 
-// Suite holds the full benchmark × configuration result matrix.
+// Suite holds the full benchmark × configuration result matrix, plus
+// the contained failures of cells that did not complete. A failed cell
+// leaves a nil Result; the rendering helpers print FAIL there and keep
+// every healthy cell's numbers.
 type Suite struct {
-	Results map[string]map[opt.Config]*Result
-	Names   []string
+	Results  map[string]map[opt.Config]*Result
+	Names    []string
+	Failures []Failure
+}
+
+// Failed reports whether any benchmark or cell failed.
+func (s *Suite) Failed() bool { return len(s.Failures) > 0 }
+
+// FailureSummary renders the contained failures, one per line.
+func (s *Suite) FailureSummary(w io.Writer) {
+	if len(s.Failures) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%d contained failure(s):\n", len(s.Failures))
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
 }
 
 // RunSuite measures every benchmark under every configuration,
@@ -135,6 +223,13 @@ type Suite struct {
 // opt.Compiled, so runs never share mutable interpreter state. Cells
 // land in fixed slots and the rendered figures iterate Names/Configs
 // in Table-2 order, so the output is byte-identical to a serial run.
+//
+// Every cell runs inside the pipeline fault boundary: a panic or error
+// in one cell — bad config, poisoned input, runaway program hitting a
+// resource guard — is recorded in Suite.Failures and the remaining
+// cells keep running. Failures are collected in deterministic
+// (benchmark, config) grid order. The returned error is non-nil only
+// when the harness itself cannot set up the grid.
 func RunSuite(ho Options) (*Suite, error) {
 	benches := programs.All()
 	cfgs := opt.Configs()
@@ -144,11 +239,14 @@ func RunSuite(ho Options) (*Suite, error) {
 		s.Results[b.Name] = make(map[opt.Config]*Result, len(cfgs))
 	}
 
+	// Load failures take the whole benchmark out of the grid but leave
+	// every other benchmark running.
 	pipes := make([]*driver.Pipeline, len(benches))
 	for i, b := range benches {
-		p, err := driver.Load(b.Source)
+		p, err := driver.LoadNamed(b.Name, b.Source)
 		if err != nil {
-			return nil, err
+			s.Failures = append(s.Failures, failureOf(b.Name, "", err))
+			continue
 		}
 		pipes[i] = p
 	}
@@ -156,6 +254,9 @@ func RunSuite(ho Options) (*Suite, error) {
 	type cell struct{ bench, cfg int }
 	cells := make([]cell, 0, len(benches)*len(cfgs))
 	for i := range benches {
+		if pipes[i] == nil {
+			continue
+		}
 		for j := range cfgs {
 			cells = append(cells, cell{i, j})
 		}
@@ -180,17 +281,21 @@ func RunSuite(ho Options) (*Suite, error) {
 					return
 				}
 				cl := cells[i]
-				results[i], errs[i] = RunOn(pipes[cl.bench], benches[cl.bench], cfgs[cl.cfg], ho)
+				b, cfg := benches[cl.bench], cfgs[cl.cfg]
+				// The harness-level guard is the cell's last line of
+				// defense: panics in bench code or caller hooks that no
+				// inner stage boundary contained stop here, not the grid.
+				results[i], errs[i] = pipeline.Guard(pipeline.StageHarness, b.Name, cfg.String(),
+					func() (*Result, error) { return RunOn(pipes[cl.bench], b, cfg, ho) })
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs { // lowest-index error wins: deterministic
-		if err != nil {
-			return nil, err
+	for i, cl := range cells { // grid order: deterministic failure list
+		if errs[i] != nil {
+			s.Failures = append(s.Failures, failureOf(benches[cl.bench].Name, cfgs[cl.cfg].String(), errs[i]))
+			continue
 		}
-	}
-	for i, cl := range cells {
 		s.Results[benches[cl.bench].Name][cfgs[cl.cfg]] = results[i]
 	}
 	return s, nil
@@ -222,12 +327,14 @@ func Table2(w io.Writer) {
 	}
 }
 
-func (s *Suite) norm(bench string, cfg opt.Config, f func(*Result) float64) float64 {
-	base := f(s.Results[bench][opt.Base])
-	if base == 0 {
-		return 0
+// norm returns f(cell)/f(Base) for one cell, with ok=false when either
+// cell is missing (contained failure) or the Base metric is zero.
+func (s *Suite) norm(bench string, cfg opt.Config, f func(*Result) float64) (float64, bool) {
+	base, r := s.Results[bench][opt.Base], s.Results[bench][cfg]
+	if base == nil || r == nil || f(base) == 0 {
+		return 0, false
 	}
-	return f(s.Results[bench][cfg]) / base
+	return f(r) / f(base), true
 }
 
 // Figure5a renders the number of dynamic dispatches normalized to Base
@@ -269,7 +376,11 @@ func (s *Suite) matrix(w io.Writer, f func(*Result) float64, invert bool) {
 	for _, name := range s.Names {
 		fmt.Fprintf(w, "  %-12s", name)
 		for _, cfg := range opt.Configs() {
-			v := s.norm(name, cfg, f)
+			v, ok := s.norm(name, cfg, f)
+			if !ok {
+				fmt.Fprintf(w, " %10s", "FAIL")
+				continue
+			}
 			if invert && v != 0 {
 				v = 1 / v
 			}
@@ -279,7 +390,11 @@ func (s *Suite) matrix(w io.Writer, f func(*Result) float64, invert bool) {
 	}
 	fmt.Fprintf(w, "  (raw Base:")
 	for _, name := range s.Names {
-		fmt.Fprintf(w, " %s=%.0f", name, f(s.Results[name][opt.Base]))
+		if base := s.Results[name][opt.Base]; base != nil {
+			fmt.Fprintf(w, " %s=%.0f", name, f(base))
+		} else {
+			fmt.Fprintf(w, " %s=FAIL", name)
+		}
 	}
 	fmt.Fprintln(w, ")")
 }
@@ -291,10 +406,11 @@ func (s *Suite) SpecStats(w io.Writer) {
 	fmt.Fprintln(w, "Specialization statistics (paper §3.2: avg 1.9 per specialized method, max 8)")
 	totalAdded, totalMeth, max := 0, 0, 0
 	for _, name := range s.Names {
-		st := s.Results[name][opt.Selective].SpecStats
-		if st == nil {
+		r := s.Results[name][opt.Selective]
+		if r == nil || r.SpecStats == nil {
 			continue
 		}
+		st := r.SpecStats
 		fmt.Fprintf(w, "  %-12s methods=%d added=%d max=%d avg=%.2f cascades=%d\n",
 			name, st.MethodsSpecialized, st.AddedSpecs, st.MaxPerMethod, st.AvgPerMethod, st.CascadeRequests)
 		totalAdded += st.AddedSpecs
@@ -316,10 +432,16 @@ func (s *Suite) Headline(w io.Writer) {
 	var spaceMin, spaceMax float64 = 1e9, 0
 	var vsCustSpeedMin, vsCustSpeedMax float64 = 1e9, 0
 	var vsCustSpaceMin, vsCustSpaceMax float64 = 1e9, 0
+	measured := 0
 	for _, name := range s.Names {
 		base := s.Results[name][opt.Base]
 		cust := s.Results[name][opt.Cust]
 		sel := s.Results[name][opt.Selective]
+		if base == nil || cust == nil || sel == nil {
+			fmt.Fprintf(w, "  %-12s FAIL (cell did not complete)\n", name)
+			continue
+		}
+		measured++
 		speed := float64(base.Cycles)/float64(sel.Cycles) - 1
 		space := float64(sel.IRNodes)/float64(base.IRNodes) - 1
 		vsCust := float64(cust.Cycles)/float64(sel.Cycles) - 1
@@ -330,6 +452,10 @@ func (s *Suite) Headline(w io.Writer) {
 		spaceMin, spaceMax = minf(spaceMin, space), maxf(spaceMax, space)
 		vsCustSpeedMin, vsCustSpeedMax = minf(vsCustSpeedMin, vsCust), maxf(vsCustSpeedMax, vsCust)
 		vsCustSpaceMin, vsCustSpaceMax = minf(vsCustSpaceMin, vsCustSpace), maxf(vsCustSpaceMax, vsCustSpace)
+	}
+	if measured == 0 {
+		fmt.Fprintln(w, "  (no benchmark completed all of Base, Cust and Selective)")
+		return
 	}
 	fmt.Fprintf(w, "  measured: Selective speeds up programs %.0f%%..%.0f%% over Base (paper: 65%%..275%%)\n",
 		selSpeedMin*100, selSpeedMax*100)
@@ -349,8 +475,16 @@ func (s *Suite) DispatchEliminationSummary(w io.Writer) {
 	for _, cfg := range []opt.Config{opt.Cust, opt.CustMM, opt.CHA, opt.Selective} {
 		var lo, hi float64 = 1e9, -1e9
 		for _, name := range s.Names {
-			elim := 1 - s.norm(name, cfg, func(r *Result) float64 { return float64(r.DynamicDispatches()) })
+			v, ok := s.norm(name, cfg, func(r *Result) float64 { return float64(r.DynamicDispatches()) })
+			if !ok {
+				continue
+			}
+			elim := 1 - v
 			lo, hi = minf(lo, elim), maxf(hi, elim)
+		}
+		if lo > hi {
+			fmt.Fprintf(w, "  %-9s FAIL\n", cfg)
+			continue
 		}
 		fmt.Fprintf(w, "  %-9s %.0f%%..%.0f%%\n", cfg, lo*100, hi*100)
 	}
@@ -369,6 +503,9 @@ func (s *Suite) CSV(w io.Writer) error {
 	for _, name := range s.Names {
 		for _, cfg := range opt.Configs() {
 			r := s.Results[name][cfg]
+			if r == nil { // contained failure: the cell has no numbers
+				continue
+			}
 			rec := []string{
 				name, cfg.String(),
 				fmt.Sprint(r.Dispatches), fmt.Sprint(r.VersionSelects), fmt.Sprint(r.Cycles),
@@ -392,46 +529,72 @@ func Extensions(w io.Writer, ho Options) error {
 	fmt.Fprintln(w, "Extensions (beyond the published system): return-type analysis + instantiation analysis")
 	fmt.Fprintf(w, "  %-14s %-22s %12s %12s %10s\n", "Program", "config", "dispatches", "cycles", "versions")
 	benches := append(programs.All(), programs.Collections())
+	var failed []Failure
 	for _, b := range benches {
-		p, err := driver.Load(b.Source)
+		if err := extensionRows(w, b, ho); err != nil {
+			f := failureOf(b.Name, "", err)
+			failed = append(failed, f)
+			fmt.Fprintf(w, "  %-14s FAIL: %v\n", b.Name, err)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d extension benchmarks failed", len(failed), len(benches))
+	}
+	return nil
+}
+
+// extensionRows measures one benchmark's extension rows inside the
+// fault boundary, so a fault in one program degrades only its rows.
+func extensionRows(w io.Writer, b programs.Benchmark, ho Options) error {
+	_, err := pipeline.Guard(pipeline.StageHarness, b.Name, "", func() (struct{}, error) {
+		return struct{}{}, extensionRowsRaw(w, b, ho)
+	})
+	return err
+}
+
+func extensionRowsRaw(w io.Writer, b programs.Benchmark, ho Options) error {
+	p, err := driver.LoadNamed(b.Name, b.Source)
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		cfg  opt.Config
+		ext  bool
+	}{
+		{"Base", opt.Base, false},
+		{"CHA", opt.CHA, false},
+		{"CHA+ext", opt.CHA, true},
+		{"Selective", opt.Selective, false},
+		{"Selective+ext", opt.Selective, true},
+	}
+	for _, row := range rows {
+		oo := opt.Options{Config: row.cfg, ReturnTypeAnalysis: row.ext, InstantiationAnalysis: row.ext}
+		if row.cfg == opt.Selective {
+			cg, err := p.CollectProfile(ho.runOptions(b, row.cfg, b.Train))
+			if err != nil {
+				return err
+			}
+			res, err := pipeline.Specialize(b.Name, p.Prog, cg, ho.SpecParams)
+			if err != nil {
+				return err
+			}
+			oo.Specializations = res.Specializations
+		}
+		c, err := pipeline.Compile(b.Name, p.Prog, oo)
 		if err != nil {
 			return err
 		}
-		rows := []struct {
-			name string
-			cfg  opt.Config
-			ext  bool
-		}{
-			{"Base", opt.Base, false},
-			{"CHA", opt.CHA, false},
-			{"CHA+ext", opt.CHA, true},
-			{"Selective", opt.Selective, false},
-			{"Selective+ext", opt.Selective, true},
+		test := b.Test
+		if ho.Quick {
+			test = b.Train
 		}
-		for _, row := range rows {
-			oo := opt.Options{Config: row.cfg, ReturnTypeAnalysis: row.ext, InstantiationAnalysis: row.ext}
-			if row.cfg == opt.Selective {
-				cg, err := p.CollectProfile(driver.RunOptions{Overrides: b.Train, StepLimit: ho.StepLimit})
-				if err != nil {
-					return err
-				}
-				oo.Specializations = specialize.Run(p.Prog, cg, ho.SpecParams).Specializations
-			}
-			c, err := opt.Compile(p.Prog, oo)
-			if err != nil {
-				return err
-			}
-			test := b.Test
-			if ho.Quick {
-				test = b.Train
-			}
-			res, err := driver.Execute(c, driver.RunOptions{Overrides: test, StepLimit: ho.StepLimit})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "  %-14s %-22s %12d %12d %10d\n",
-				b.Name, row.name, res.Counters.DynamicDispatches(), res.Counters.Cycles, res.Stats.Versions)
+		res, err := driver.Execute(c, ho.runOptions(b, row.cfg, test))
+		if err != nil {
+			return err
 		}
+		fmt.Fprintf(w, "  %-14s %-22s %12d %12d %10d\n",
+			b.Name, row.name, res.Counters.DynamicDispatches(), res.Counters.Cycles, res.Stats.Versions)
 	}
 	return nil
 }

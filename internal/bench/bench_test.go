@@ -92,14 +92,15 @@ func TestFiguresRender(t *testing.T) {
 
 func TestFigureNormalization(t *testing.T) {
 	s := quickSuite(t)
+	dispatches := func(r *Result) float64 { return float64(r.DynamicDispatches()) }
 	for _, name := range s.Names {
 		// Base always normalizes to exactly 1.
-		if v := s.norm(name, opt.Base, func(r *Result) float64 { return float64(r.DynamicDispatches()) }); v != 1 {
-			t.Errorf("%s: Base normalizes to %f", name, v)
+		if v, ok := s.norm(name, opt.Base, dispatches); !ok || v != 1 {
+			t.Errorf("%s: Base normalizes to %f (ok=%v)", name, v, ok)
 		}
 		// Selective eliminates dispatches.
-		if v := s.norm(name, opt.Selective, func(r *Result) float64 { return float64(r.DynamicDispatches()) }); v >= 1 {
-			t.Errorf("%s: Selective dispatch ratio %f >= 1", name, v)
+		if v, ok := s.norm(name, opt.Selective, dispatches); !ok || v >= 1 {
+			t.Errorf("%s: Selective dispatch ratio %f >= 1 (ok=%v)", name, v, ok)
 		}
 	}
 }

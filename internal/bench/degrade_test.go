@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"selspec/internal/driver"
+	"selspec/internal/opt"
+	"selspec/internal/specialize"
+)
+
+// poisonedSuite runs the grid with a config-override hook that panics
+// for exactly one cell (InstSched under CHA): the acceptance test for
+// graceful degradation — a deliberately crashing cell must produce one
+// recorded Failure plus complete, unchanged results for every other
+// cell. Shared by the assertions below; run with -race in CI, so it
+// also exercises the worker pool's containment under the race detector.
+var poisoned *Suite
+
+func poisonedSuite(t *testing.T) *Suite {
+	t.Helper()
+	if poisoned != nil {
+		return poisoned
+	}
+	s, err := RunSuite(Options{
+		Quick:      true,
+		StepLimit:  500_000_000,
+		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
+		OptExtra: func(bench string, cfg opt.Config, oo *opt.Options) {
+			if bench == "InstSched" && cfg == opt.CHA {
+				panic("injected: poisoned compile options")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned = s
+	return s
+}
+
+func TestPoisonedCellIsContained(t *testing.T) {
+	s := poisonedSuite(t)
+	if len(s.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the injected one", s.Failures)
+	}
+	f := s.Failures[0]
+	if f.Benchmark != "InstSched" || f.Config != "CHA" {
+		t.Errorf("failure cell = %s/%s", f.Benchmark, f.Config)
+	}
+	if f.Stage != "harness" {
+		t.Errorf("stage = %q, want harness (a hook panic is a harness-level fault)", f.Stage)
+	}
+	if !strings.Contains(f.Error, "injected: poisoned compile options") {
+		t.Errorf("error = %q", f.Error)
+	}
+	if s.Results["InstSched"][opt.CHA] != nil {
+		t.Error("poisoned cell has a result")
+	}
+	if !s.Failed() {
+		t.Error("Failed() = false")
+	}
+}
+
+func TestPoisonedSuiteOtherCellsUnchanged(t *testing.T) {
+	clean := quickSuite(t)
+	s := poisonedSuite(t)
+	checked := 0
+	for _, name := range s.Names {
+		for _, cfg := range opt.Configs() {
+			if name == "InstSched" && cfg == opt.CHA {
+				continue
+			}
+			got, want := s.Results[name][cfg], clean.Results[name][cfg]
+			if got == nil {
+				t.Errorf("%s/%v: missing result", name, cfg)
+				continue
+			}
+			// Wall time differs run to run; every deterministic metric
+			// must match the clean grid exactly.
+			if got.Cycles != want.Cycles || got.Dispatches != want.Dispatches ||
+				got.VersionSelects != want.VersionSelects ||
+				got.StaticVersions != want.StaticVersions ||
+				got.InvokedVersions != want.InvokedVersions ||
+				got.IRNodes != want.IRNodes {
+				t.Errorf("%s/%v diverged from clean run:\n got %+v\nwant %+v", name, cfg, got, want)
+			}
+			checked++
+		}
+	}
+	if checked != len(s.Names)*len(opt.Configs())-1 {
+		t.Errorf("checked %d cells", checked)
+	}
+}
+
+func TestPoisonedSuiteRenders(t *testing.T) {
+	s := poisonedSuite(t)
+	var b bytes.Buffer
+	s.Report(&b) // must not panic on the nil cell
+	if !strings.Contains(b.String(), "FAIL") {
+		t.Error("report does not mark the failed cell")
+	}
+	b.Reset()
+	if err := s.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if want := 1 + len(s.Names)*len(opt.Configs()) - 1; len(lines) != want {
+		t.Errorf("CSV rows = %d, want %d (failed cell skipped)", len(lines), want)
+	}
+	b.Reset()
+	s.FailureSummary(&b)
+	if !strings.Contains(b.String(), "1 contained failure") ||
+		!strings.Contains(b.String(), "InstSched/CHA") {
+		t.Errorf("summary = %q", b.String())
+	}
+}
+
+func TestPoisonedSuiteJSON(t *testing.T) {
+	s := poisonedSuite(t)
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b, time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	var tr JSONTrajectory
+	if err := json.Unmarshal(b.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Failures) != 1 || tr.Failures[0].Benchmark != "InstSched" {
+		t.Errorf("failures = %+v", tr.Failures)
+	}
+	if want := len(s.Names)*len(opt.Configs()) - 1; len(tr.Results) != want {
+		t.Errorf("results = %d, want %d", len(tr.Results), want)
+	}
+	for _, r := range tr.Results {
+		if r.Benchmark == "InstSched" && r.Config == "CHA" {
+			t.Error("failed cell leaked into results")
+		}
+	}
+}
+
+// TestCleanSuiteJSONFailuresPresent: the failures array is present and
+// empty (not null) on a clean run, so downstream diffing never needs a
+// null check.
+func TestCleanSuiteJSONFailuresPresent(t *testing.T) {
+	s := quickSuite(t)
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b, time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"failures": []`) {
+		t.Error("clean-run JSON lacks an empty failures array")
+	}
+}
+
+// TestRunExtraFaultContained: a panic in the run-options hook (the
+// other injection point) is likewise contained per cell.
+func TestRunExtraFaultContained(t *testing.T) {
+	s, err := RunSuite(Options{
+		Quick:      true,
+		StepLimit:  500_000_000,
+		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
+		RunExtra: func(bench string, cfg opt.Config, ro *driver.RunOptions) {
+			if bench == "Richards" && cfg == opt.Base {
+				panic("injected: poisoned run options")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base feeds Selective's normalization for Richards only through
+	// norm(); the three other benchmarks must be fully intact.
+	if len(s.Failures) == 0 {
+		t.Fatal("no failure recorded")
+	}
+	for _, f := range s.Failures {
+		if f.Benchmark != "Richards" {
+			t.Errorf("unexpected failure %v", f)
+		}
+	}
+	for _, name := range []string{"InstSched", "Typechecker", "Compiler"} {
+		for _, cfg := range opt.Configs() {
+			if s.Results[name][cfg] == nil {
+				t.Errorf("%s/%v: missing result", name, cfg)
+			}
+		}
+	}
+}

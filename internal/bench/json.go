@@ -26,11 +26,15 @@ type JSONResult struct {
 }
 
 // JSONTrajectory is the top-level shape of BENCH_paperbench.json.
+// Failures lists the contained per-cell faults; a failed cell has an
+// entry here and no row in Results. The array is always present (empty
+// on a clean run) so consumers can diff on it unconditionally.
 type JSONTrajectory struct {
 	SuiteWallNS int64        `json:"suite_wall_ns"` // end-to-end RunSuite wall time
 	Workers     int          `json:"workers"`       // GOMAXPROCS during the run
 	Quick       bool         `json:"quick"`
 	Results     []JSONResult `json:"results"`
+	Failures    []Failure    `json:"failures"`
 }
 
 // WriteJSON emits the machine-readable perf trajectory for the suite,
@@ -41,10 +45,14 @@ func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool) erro
 		SuiteWallNS: suiteWall.Nanoseconds(),
 		Workers:     runtime.GOMAXPROCS(0),
 		Quick:       quick,
+		Failures:    append([]Failure{}, s.Failures...), // non-null even when empty
 	}
 	for _, name := range s.Names {
 		for _, cfg := range opt.Configs() {
 			r := s.Results[name][cfg]
+			if r == nil { // contained failure: listed in Failures instead
+				continue
+			}
 			t.Results = append(t.Results, JSONResult{
 				Benchmark:         name,
 				Config:            cfg.String(),

@@ -1,0 +1,40 @@
+package check_test
+
+// FuzzCheck drives the RAW analyzer entry point (not the pipeline
+// boundary, which would contain — and so hide — crashers): on any
+// parseable program the static analyzer must produce diagnostics or an
+// ordinary error, never panic.
+
+import (
+	"testing"
+
+	"selspec/internal/check"
+	"selspec/internal/lang"
+	"selspec/internal/programs"
+)
+
+func FuzzCheck(f *testing.F) {
+	for _, b := range append(programs.All(), programs.Sets(), programs.Collections()) {
+		f.Add(b.Source)
+	}
+	for _, s := range []string{
+		"method main() { 1; }",
+		"class A\nmethod f(x@A) { 1; }\nmethod main() { f(new A()); }",
+		"class L\nclass R\nclass C isa L, R\nmethod amb(x@L) { 1; }\nmethod amb(x@R) { 2; }\nmethod main() { amb(new C()); }",
+		"method main() { undefinedCall(1, 2); }",
+		"class A\nmethod main() { (new A()).missingField; }",
+		"method f() { f(); }\nmethod main() { f(); }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := lang.Parse(src); err != nil {
+			return // the analyzer's contract starts at parseable programs
+		}
+		for _, inst := range []bool{false, true} {
+			if _, err := check.Source("fuzz.mc", src, check.Options{Instantiation: inst}); err != nil {
+				_ = err // ordinary analysis errors are acceptable; panics are the bug
+			}
+		}
+	})
+}

@@ -6,13 +6,14 @@ package driver
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
 	"selspec/internal/interp"
 	"selspec/internal/ir"
-	"selspec/internal/lang"
 	"selspec/internal/opt"
+	"selspec/internal/pipeline"
 	"selspec/internal/profile"
 	"selspec/internal/specialize"
 )
@@ -22,19 +23,25 @@ import (
 // stable, so profiles carry across).
 type Pipeline struct {
 	Prog *ir.Program
+	// Label names the compilation unit in contained-fault diagnostics
+	// (benchmark name, file path, ...); empty for anonymous sources.
+	Label string
 }
 
-// Load parses and lowers source code.
+// Load parses and lowers source code. Every stage runs inside the
+// pipeline fault boundary: an internal panic in the front end comes
+// back as a *pipeline.StageError instead of crashing the process.
 func Load(src string) (*Pipeline, error) {
-	parsed, err := lang.Parse(src)
+	return LoadNamed("", src)
+}
+
+// LoadNamed is Load with a unit label for fault diagnostics.
+func LoadNamed(label, src string) (*Pipeline, error) {
+	prog, err := pipeline.Load(label, src)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := ir.Lower(parsed)
-	if err != nil {
-		return nil, err
-	}
-	return &Pipeline{Prog: prog}, nil
+	return &Pipeline{Prog: prog, Label: label}, nil
 }
 
 // MustLoad is Load for known-good embedded sources.
@@ -60,6 +67,17 @@ type RunOptions struct {
 	Mechanism interp.Mechanism
 	// StepLimit guards against runaway programs (0 = unlimited).
 	StepLimit uint64
+	// DepthLimit bounds the Mini-Cecil call depth (0 =
+	// interp.DefaultDepthLimit, negative = unlimited): deep guest
+	// recursion raises a positioned RuntimeError instead of fatally
+	// overflowing the Go stack.
+	DepthLimit int
+	// Timeout aborts the run after this wall-clock duration (0 = no
+	// timeout) — the per-cell guard the experiment grid uses.
+	Timeout time.Duration
+	// Context, when non-nil, cancels the run when it is done; composed
+	// with Timeout when both are set.
+	Context context.Context
 }
 
 // Result reports one execution.
@@ -73,7 +91,12 @@ type Result struct {
 	Wall     time.Duration
 }
 
-// Execute runs an already-compiled program.
+// Execute runs an already-compiled program. The interpreter runs
+// inside the pipeline fault boundary with the RunOptions resource
+// guards applied: step limit, call-depth limit, and wall-clock
+// timeout/cancellation. Mini-Cecil runtime errors come back as
+// *interp.RuntimeError; interpreter-internal panics come back as
+// *pipeline.StageError.
 func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	in := interp.New(c)
 	var buf bytes.Buffer
@@ -83,6 +106,18 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	in.Mech = ro.Mechanism
 	in.Profile = ro.Profile
 	in.StepLimit = ro.StepLimit
+	in.DepthLimit = ro.DepthLimit
+
+	ctx := ro.Context
+	if ro.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ro.Timeout)
+		defer cancel()
+	}
+	in.Ctx = ctx
 
 	// Apply global overrides after initialization: Run initializes
 	// globals itself, so we pre-validate names here and patch the
@@ -97,7 +132,7 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	}
 
 	start := time.Now()
-	val, err := in.Run()
+	val, err := pipeline.RunInterp("", c.Opts.Config.String(), in)
 	wall := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -142,7 +177,7 @@ func restoreGlobals(c *opt.Compiled, saved map[int]ir.Node) {
 // (the paper gathers profiles the same way: an instrumented run of the
 // unspecialized system, §3.7.2).
 func (p *Pipeline) CollectProfile(ro RunOptions) (*profile.CallGraph, error) {
-	c, err := opt.Compile(p.Prog, opt.Options{Config: opt.Base})
+	c, err := pipeline.Compile(p.Label, p.Prog, opt.Options{Config: opt.Base})
 	if err != nil {
 		return nil, err
 	}
@@ -186,13 +221,16 @@ func (p *Pipeline) RunConfig(co ConfigOptions) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("profile run: %w", err)
 		}
-		res := specialize.Run(p.Prog, cg, co.SpecParams)
+		res, err := pipeline.Specialize(p.Label, p.Prog, cg, co.SpecParams)
+		if err != nil {
+			return nil, err
+		}
 		oo.Specializations = res.Specializations
 	}
 	if co.OptExtra != nil {
 		co.OptExtra(&oo)
 	}
-	c, err := opt.Compile(p.Prog, oo)
+	c, err := pipeline.Compile(p.Label, p.Prog, oo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -122,6 +123,20 @@ type Interp struct {
 	Profile   *profile.CallGraph // non-nil: record (site, callee, weight) arcs
 	StepLimit uint64             // 0 = unlimited; guards runaway programs
 
+	// DepthLimit bounds the Mini-Cecil call depth (methods + closure
+	// calls). eval is recursive, so unbounded guest recursion would
+	// overflow the Go stack — a fatal, unrecoverable fault — before any
+	// error boundary could contain it. 0 selects DefaultDepthLimit;
+	// negative disables the guard (callers accept the overflow risk).
+	// Exceeding the limit raises a positioned RuntimeError.
+	DepthLimit int
+
+	// Ctx, when non-nil, is polled every ctxCheckInterval steps: once it
+	// is cancelled (deadline or explicit), the run aborts with a
+	// RuntimeError. This is the per-cell wall-clock guard the experiment
+	// harness threads through driver.RunOptions.
+	Ctx context.Context
+
 	// Trace, when non-nil, receives one line per dynamic dispatch and
 	// version selection: which site dispatched to which method/version.
 	// A debugging aid; enormous on real runs, so keep inputs small.
@@ -130,6 +145,10 @@ type Interp struct {
 	Globals      []Value
 	globalsReady []bool
 	steps        uint64
+	depth        int      // current Mini-Cecil call depth
+	depthLimit   int      // resolved from DepthLimit at Run
+	callPos      lang.Pos // innermost call-site position, for faults with no node position
+	returning    bool     // a returnSignal unwind is in flight (see runBody)
 
 	pics     []*dispatch.PIC // per call-site ID
 	mmTables map[*hier.GF]*dispatch.MMTable
@@ -167,6 +186,17 @@ func failAt(pos lang.Pos, format string, args ...any) {
 	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
+// DefaultDepthLimit is the call-depth guard applied when
+// Interp.DepthLimit is zero. It is far above what the benchmarks need
+// but low enough that the Go stack frames behind each guest call stay
+// well under the runtime's stack ceiling.
+const DefaultDepthLimit = 10_000
+
+// ctxCheckInterval is how many interpreter steps pass between Ctx
+// polls: a power of two so the check is a mask, cheap enough to leave
+// in the hot step path.
+const ctxCheckInterval = 1024
+
 func (in *Interp) charge(c uint64) { in.Counters.Cycles += c }
 
 func (in *Interp) step() {
@@ -174,7 +204,30 @@ func (in *Interp) step() {
 	if in.StepLimit > 0 && in.steps > in.StepLimit {
 		fail("step limit exceeded (%d)", in.StepLimit)
 	}
+	if in.Ctx != nil && in.steps%ctxCheckInterval == 0 {
+		select {
+		case <-in.Ctx.Done():
+			failAt(in.callPos, "interpreter cancelled: %v", context.Cause(in.Ctx))
+		default:
+		}
+	}
 }
+
+// enter charges one level of Mini-Cecil call depth, failing with a
+// positioned RuntimeError when the guard trips. pos is the call site
+// (zero for main). The matching leave must run on every exit path —
+// non-local returns unwind via panic, so callers pair it with defer.
+func (in *Interp) enter(pos lang.Pos) {
+	in.depth++
+	if in.depthLimit > 0 && in.depth > in.depthLimit {
+		failAt(pos, "call depth limit exceeded (%d)", in.depthLimit)
+	}
+	if pos.Line > 0 {
+		in.callPos = pos
+	}
+}
+
+func (in *Interp) leave() { in.depth-- }
 
 // Run initializes globals and invokes main(); it returns main's value.
 func (in *Interp) Run() (v Value, err error) {
@@ -186,12 +239,20 @@ func (in *Interp) Run() (v Value, err error) {
 			}
 			if rs, ok := r.(returnSignal); ok {
 				_ = rs
+				in.returning = false
 				err = &RuntimeError{Msg: "return from a method activation that already exited"}
 				return
 			}
 			panic(r)
 		}
 	}()
+
+	in.depthLimit = in.DepthLimit
+	if in.depthLimit == 0 {
+		in.depthLimit = DefaultDepthLimit
+	}
+	in.returning = false
+	in.depth = 0
 
 	in.Globals = make([]Value, len(in.C.GlobalInits))
 	in.globalsReady = make([]bool, len(in.C.GlobalInits))
@@ -207,11 +268,14 @@ func (in *Interp) Run() (v Value, err error) {
 	if derr != nil {
 		return NilV, derr
 	}
-	return in.invoke(in.C.SelectVersion(m, nil), nil), nil
+	return in.invoke(in.C.SelectVersion(m, nil), nil, lang.Pos{}), nil
 }
 
-// invoke runs one method version with the given arguments.
-func (in *Interp) invoke(v *ir.Version, args []Value) Value {
+// invoke runs one method version with the given arguments. pos is the
+// call-site position (zero for main), anchoring depth-limit faults.
+func (in *Interp) invoke(v *ir.Version, args []Value, pos lang.Pos) Value {
+	in.enter(pos)
+	defer in.leave()
 	body, err := in.C.Body(v)
 	if err != nil {
 		fail("compile: %v", err)
@@ -230,17 +294,35 @@ func (in *Interp) invoke(v *ir.Version, args []Value) Value {
 	return in.runBody(body, fr, act)
 }
 
+// callClosureBody runs a closure body one call-depth level down, so
+// closure recursion is bounded by the same guard as method recursion.
+func (in *Interp) callClosureBody(clo *Closure, nf *Frame, pos lang.Pos) Value {
+	in.enter(pos)
+	defer in.leave()
+	return in.eval(clo.Code.Body, nf, clo.Act)
+}
+
 // runBody evaluates a method body, catching returns aimed at this
-// activation.
+// activation. The in.returning flag gates the recover: only a
+// returnSignal unwind is ever intercepted here, and recovering +
+// re-panicking a fatal RuntimeError at every activation would make a
+// deep-stack fault (e.g. the call-depth guard tripping at 10,000)
+// quadratic in depth — each re-panic restarts the runtime's unwinder.
+// Letting fatal panics pass through unrecovered keeps them one linear
+// unwind to Run's boundary.
 func (in *Interp) runBody(body ir.Node, fr *Frame, act *Activation) (result Value) {
 	defer func() {
 		act.alive = false
+		if !in.returning {
+			return
+		}
 		if r := recover(); r != nil {
 			if rs, ok := r.(returnSignal); ok && rs.act == act {
+				in.returning = false
 				result = rs.val
 				return
 			}
-			panic(r)
+			panic(r) // a return aimed at an outer activation: keep unwinding
 		}
 	}()
 	return in.eval(body, fr, act)
@@ -481,6 +563,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 		if act == nil || !act.alive {
 			fail("return from a method activation that already exited")
 		}
+		in.returning = true
 		panic(returnSignal{act: act, val: v})
 
 	case *ir.New:
@@ -513,11 +596,11 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 	case *ir.CallClosure:
 		fn := in.eval(n.Fn, fr, act)
 		if fn.K != KClosure {
-			fail("calling a non-closure value %s", fn)
+			failAt(n.Pos, "calling a non-closure value %s", fn)
 		}
 		clo := fn.C
 		if len(n.Args) != clo.Code.NumParams {
-			fail("closure expects %d arguments, got %d", clo.Code.NumParams, len(n.Args))
+			failAt(n.Pos, "closure expects %d arguments, got %d", clo.Code.NumParams, len(n.Args))
 		}
 		nf := &Frame{Slots: make([]Value, clo.Code.NumSlots), Parent: clo.Frame}
 		for i, arg := range n.Args {
@@ -526,7 +609,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 		in.Counters.ClosureCalls++
 		in.charge(CostClosureCall)
 		in.step()
-		return in.eval(clo.Code.Body, nf, clo.Act)
+		return in.callClosureBody(clo, nf, n.Pos)
 
 	case *ir.Send:
 		args := make([]Value, len(n.Args))
@@ -534,7 +617,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 			args[i] = in.eval(arg, fr, act)
 		}
 		v := in.dispatchSend(n.Site, args)
-		return in.invoke(v, args)
+		return in.invoke(v, args, n.Site.Pos)
 
 	case *ir.StaticCall:
 		args := make([]Value, len(n.Args))
@@ -544,7 +627,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 		in.Counters.StaticCalls++
 		in.charge(CostStaticCall)
 		in.record(n.Site, n.Target.Method)
-		return in.invoke(n.Target, args)
+		return in.invoke(n.Target, args, n.Site.Pos)
 
 	case *ir.VersionSelect:
 		args := make([]Value, len(n.Args))
@@ -557,7 +640,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 		classes := in.classesOf(args, make([]*hier.Class, 0, len(args)))
 		v := in.C.SelectVersion(n.Method, classes)
 		in.trace("vselect", n.Site, v)
-		return in.invoke(v, args)
+		return in.invoke(v, args, n.Site.Pos)
 
 	case *ir.Bin:
 		l := in.eval(n.L, fr, act)
@@ -625,7 +708,12 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 		}
 		return r
 	}
-	panic(fmt.Sprintf("interp: unknown node %T", n))
+	// An unknown node is an interpreter bug, but it must surface as a
+	// positioned, recoverable RuntimeError (anchored at the innermost
+	// call site) rather than a bare Go panic string: the pipeline
+	// boundary reports file:line:col and the rest of a grid keeps going.
+	failAt(in.callPos, "internal error: unknown IR node %T", n)
+	panic("unreachable")
 }
 
 func evalBin(op ir.BinOp, l, r Value) Value {

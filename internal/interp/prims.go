@@ -106,7 +106,11 @@ func (in *Interp) evalPrim(p ir.Prim, args []Value) Value {
 	case ir.PrimSame:
 		return BoolV(sameIdentity(args[0], args[1]))
 	}
-	panic(fmt.Sprintf("interp: unknown primitive %d", p))
+	// Unknown primitives (a lowering/interpreter table mismatch) raise a
+	// positioned RuntimeError instead of a bare Go panic, so the fault
+	// is contained per compilation unit and reports file:line:col.
+	failAt(in.callPos, "internal error: unknown primitive %d", p)
+	panic("unreachable")
 }
 
 // sameIdentity is reference identity (value identity for immediates).

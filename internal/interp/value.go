@@ -232,6 +232,10 @@ func (e *RuntimeError) Error() string {
 	return "runtime error: " + e.Msg
 }
 
+// Position returns the error's source position (zero when none
+// applies), for the pipeline boundary's position extraction.
+func (e *RuntimeError) Position() lang.Pos { return e.Pos }
+
 // returnSignal implements (non-local) return via panic/recover.
 type returnSignal struct {
 	act *Activation

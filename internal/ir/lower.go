@@ -397,10 +397,10 @@ func (lw *lowerer) expr(e lang.Expr) (Node, error) {
 		// A name bound to a variable is a closure call; otherwise a
 		// generic-function send; otherwise a primitive.
 		if depth, slot, _, ok := lw.resolve(e.Name); ok {
-			return &CallClosure{Fn: &Local{Depth: depth, Slot: slot, Name: e.Name}, Args: args}, nil
+			return &CallClosure{Fn: &Local{Depth: depth, Slot: slot, Name: e.Name}, Args: args, Pos: e.Pos}, nil
 		}
 		if gi, ok := lw.prog.GlobalIdx[e.Name]; ok {
-			return &CallClosure{Fn: &Global{Slot: gi, Name: e.Name}, Args: args}, nil
+			return &CallClosure{Fn: &Global{Slot: gi, Name: e.Name}, Args: args, Pos: e.Pos}, nil
 		}
 		if g, ok := lw.prog.H.GF(e.Name, len(args)); ok {
 			return lw.send(g, e.Pos, args), nil
@@ -445,7 +445,7 @@ func (lw *lowerer) expr(e lang.Expr) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &CallClosure{Fn: fn, Args: args}, nil
+		return &CallClosure{Fn: fn, Args: args, Pos: e.Pos}, nil
 
 	case *lang.NewExpr:
 		c, ok := lw.prog.H.Class(e.Class)

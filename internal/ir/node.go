@@ -127,10 +127,13 @@ type ClosureCode struct {
 	Owner     *hier.Method // lexically enclosing method (nil in global init)
 }
 
-// CallClosure invokes a closure value.
+// CallClosure invokes a closure value. Pos is the call position, so
+// runtime faults (non-closure callee, arity, call-depth limit) report
+// file:line:col.
 type CallClosure struct {
 	Fn   Node
 	Args []Node
+	Pos  lang.Pos
 }
 
 // Send is a dynamically-dispatched message send.

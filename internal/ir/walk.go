@@ -131,7 +131,7 @@ func Clone(n Node) Node {
 			Owner:     n.Fn.Owner,
 		}}
 	case *CallClosure:
-		return &CallClosure{Fn: Clone(n.Fn), Args: cloneSlice(n.Args)}
+		return &CallClosure{Fn: Clone(n.Fn), Args: cloneSlice(n.Args), Pos: n.Pos}
 	case *Send:
 		return &Send{Site: n.Site, Args: cloneSlice(n.Args)}
 	case *StaticCall:

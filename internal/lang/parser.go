@@ -7,9 +7,29 @@ import (
 
 // Parser is a recursive-descent parser for Mini-Cecil.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int // expression/statement nesting depth (see maxNestingDepth)
 }
+
+// maxNestingDepth bounds expression and statement nesting. The parser
+// (and the tree interpreter behind it) recurse over the syntax, so
+// pathologically nested input — "((((…" or "!!!!…" from a fuzzer —
+// would otherwise overflow the Go stack, a fatal fault no error
+// boundary can contain. Real programs nest a few dozen levels at most.
+const maxNestingDepth = 500
+
+// push charges one nesting level, failing with a positioned parse
+// error at the guard. Callers pair it with a deferred pop.
+func (p *Parser) push() error {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		return errf(p.cur().Pos, "nesting too deep (limit %d)", maxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) pop() { p.depth-- }
 
 // Parse parses a whole program.
 func Parse(src string) (*Program, error) {
@@ -226,6 +246,10 @@ func (p *Parser) parseGlobal() (*GlobalDecl, error) {
 }
 
 func (p *Parser) parseBlock() (*Block, error) {
+	if err := p.push(); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	lb, err := p.expect(LBRACE)
 	if err != nil {
 		return nil, err
@@ -353,7 +377,13 @@ func (p *Parser) parseIf() (Stmt, error) {
 
 // Operator-precedence expression parsing.
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.push(); err != nil {
+		return nil, err
+	}
+	defer p.pop()
+	return p.parseOr()
+}
 
 func (p *Parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
@@ -439,6 +469,12 @@ func (p *Parser) parseMul() (Expr, error) {
 func (p *Parser) parseUnary() (Expr, error) {
 	switch p.cur().Kind {
 	case NOT, MINUS:
+		// Unary chains ("!!!!…") recurse without re-entering parseExpr,
+		// so they charge nesting depth here.
+		if err := p.push(); err != nil {
+			return nil, err
+		}
+		defer p.pop()
 		op := p.advance()
 		x, err := p.parseUnary()
 		if err != nil {

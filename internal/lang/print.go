@@ -149,7 +149,7 @@ func (p *printer) expr(e Expr) {
 	case *IntLit:
 		fmt.Fprintf(p.b, "%d", e.Val)
 	case *StrLit:
-		fmt.Fprintf(p.b, "%q", e.Val)
+		p.b.WriteString(quote(e.Val))
 	case *BoolLit:
 		fmt.Fprintf(p.b, "%t", e.Val)
 	case *NilLit:
@@ -213,4 +213,29 @@ func (p *printer) args(args []Expr) {
 		}
 		p.expr(a)
 	}
+}
+
+// quote renders a string literal using only the escapes the lexer
+// understands (\n \t \\ \"); Go's %q would emit \r, \v, \xNN etc.,
+// which do not reparse. Every other rune — control characters
+// included — is legal verbatim inside a Mini-Cecil string.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

@@ -128,6 +128,10 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
+// Position returns the error's source position, letting stage
+// boundaries surface file:line:col without knowing the concrete type.
+func (e *Error) Position() Pos { return e.Pos }
+
 func errf(pos Pos, format string, args ...any) *Error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }

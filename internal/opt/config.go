@@ -8,6 +8,7 @@ package opt
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -280,7 +281,7 @@ func (c *Compiled) compileAll(all []*ir.Version) error {
 				if i >= len(errs) {
 					return
 				}
-				errs[i] = c.EnsureBody(all[i])
+				errs[i] = ensureBodyContained(c, all[i])
 			}
 		}()
 	}
@@ -291,6 +292,19 @@ func (c *Compiled) compileAll(all []*ir.Version) error {
 		}
 	}
 	return nil
+}
+
+// ensureBodyContained compiles one version with a panic boundary. The
+// pool's goroutines cannot rely on the pipeline guard on the calling
+// goroutine — a recover never crosses goroutines — so a compiler panic
+// here must become this version's error slot, not a process abort.
+func ensureBodyContained(c *Compiled, v *ir.Version) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compile %v panicked: %v\n%s", v, r, debug.Stack())
+		}
+	}()
+	return c.EnsureBody(v)
 }
 
 // versionTuples lists the specialization tuples to define eagerly for a

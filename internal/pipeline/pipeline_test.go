@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"selspec/internal/check"
+	"selspec/internal/interp"
+	"selspec/internal/lang"
+)
+
+func TestGuardConvertsPanic(t *testing.T) {
+	_, err := Guard(StageCompile, "Richards", "Selective", func() (int, error) {
+		panic("index out of range [3] with length 2")
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *StageError", err, err)
+	}
+	if se.Stage != StageCompile || se.Program != "Richards" || se.Config != "Selective" {
+		t.Errorf("identity = %s/%s/%s", se.Stage, se.Program, se.Config)
+	}
+	if se.Stack == nil {
+		t.Error("recovered panic lacks a stack")
+	}
+	for _, want := range []string{"stage compile", "[Richards/Selective]", "panicked", "index out of range"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestGuardPassesErrorsThrough(t *testing.T) {
+	sentinel := errors.New("ordinary failure")
+	v, err := Guard(StageParse, "p", "", func() (string, error) {
+		return "partial", sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel unchanged", err)
+	}
+	if v != "partial" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestGuardPassesValuesThrough(t *testing.T) {
+	v, err := Guard(StageParse, "p", "", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("= %v, %v", v, err)
+	}
+}
+
+func TestGuardZeroesResultOnPanic(t *testing.T) {
+	v, err := Guard(StageLower, "p", "", func() (*lang.Program, error) {
+		panic("boom")
+	})
+	if v != nil {
+		t.Errorf("result not zeroed: %v", v)
+	}
+	if err == nil {
+		t.Error("panic not converted")
+	}
+}
+
+func TestGuardExtractsPosition(t *testing.T) {
+	// A panicking error value that carries a source position (as
+	// lang.Error and interp.RuntimeError do) anchors the StageError.
+	_, err := Guard(StageInterp, "p", "Base", func() (int, error) {
+		panic(&interp.RuntimeError{Pos: lang.Pos{Line: 7, Col: 3}, Msg: "boom"})
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatal(err)
+	}
+	if se.Pos.Line != 7 || se.Pos.Col != 3 {
+		t.Errorf("pos = %v", se.Pos)
+	}
+	if !strings.Contains(err.Error(), "at 7:3") {
+		t.Errorf("error %q lacks position", err)
+	}
+}
+
+func TestStageErrorUnwrap(t *testing.T) {
+	cause := fmt.Errorf("cause")
+	_, err := Guard(StageCheck, "p", "", func() (int, error) { panic(cause) })
+	if !errors.Is(err, cause) {
+		t.Errorf("errors.Is fails through StageError: %v", err)
+	}
+}
+
+func TestLoadParseErrorUntouched(t *testing.T) {
+	// Ordinary front-end diagnostics keep their type and text: existing
+	// callers match on both.
+	_, err := Load("unit", "method main( {")
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		t.Fatalf("parse error wrongly wrapped: %v", err)
+	}
+	var le *lang.Error
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %T, want *lang.Error", err)
+	}
+}
+
+func TestLoadAndRunHealthy(t *testing.T) {
+	prog, err := Load("unit", "method main() { 40 + 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == nil || prog.Main == nil {
+		t.Fatal("no program")
+	}
+}
+
+func TestCheckSourceHealthy(t *testing.T) {
+	ds, err := CheckSource("unit", `class A
+method f(x@A) { 1; }
+method main() { var keep := new A(); g(keep); }
+method g(x@A) { f(x); }`, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds // any diagnostics are fine; the boundary just must not wrap them
+}

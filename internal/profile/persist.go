@@ -3,6 +3,7 @@ package profile
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"selspec/internal/hier"
 )
@@ -48,7 +49,13 @@ func (g *CallGraph) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalInto decodes data into a fresh call graph bound to g's
-// program, replacing g's arcs.
+// program, replacing g's arcs. Profiles cross a file-system boundary,
+// so every reference is validated against the bound program before it
+// touches graph state: ids in range, weights non-negative and
+// non-overflowing under duplicate arcs, tuple arities matching the
+// method they claim to sample, one entry per method. A corrupt or
+// hostile file yields an error, never a panic or a silently poisoned
+// profile.
 func (g *CallGraph) UnmarshalInto(data []byte) error {
 	var ff fileFormat
 	if err := json.Unmarshal(data, &ff); err != nil {
@@ -70,6 +77,9 @@ func (g *CallGraph) UnmarshalInto(data []byte) error {
 		if fa.Weight < 0 {
 			return fmt.Errorf("profile: negative weight on site %d", fa.Site)
 		}
+		if a, ok := g.arcs[arcKey{fa.Site, fa.Callee}]; ok && a.Weight > math.MaxInt64-fa.Weight {
+			return fmt.Errorf("profile: weight overflow on duplicate arc %d->%d", fa.Site, fa.Callee)
+		}
 		g.Record(g.prog.Sites[fa.Site], methods[fa.Callee], fa.Weight)
 	}
 	classes := g.prog.H.Classes()
@@ -78,11 +88,18 @@ func (g *CallGraph) UnmarshalInto(data []byte) error {
 			return fmt.Errorf("profile: entry method %d out of range", fe.Method)
 		}
 		m := methods[fe.Method]
+		if _, dup := g.entries[m]; dup {
+			return fmt.Errorf("profile: duplicate entry for method %d", fe.Method)
+		}
 		if fe.Overflow {
 			g.entries[m] = &tupleSet{overflow: true}
 			continue
 		}
 		for _, ids := range fe.Tuples {
+			if len(ids) != len(m.Specs) {
+				return fmt.Errorf("profile: entry tuple arity %d does not match method %d arity %d",
+					len(ids), fe.Method, len(m.Specs))
+			}
 			cs := make([]*hier.Class, len(ids))
 			for i, id := range ids {
 				if id < 0 || id >= len(classes) {

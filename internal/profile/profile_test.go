@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -146,12 +147,95 @@ func TestUnmarshalErrors(t *testing.T) {
 		{`{"version": 1, "arcs": [{"site": 999, "callee": 0, "weight": 1}]}`, "site 999 out of range"},
 		{`{"version": 1, "arcs": [{"site": 0, "callee": 999, "weight": 1}]}`, "method 999 out of range"},
 		{`{"version": 1, "arcs": [{"site": 0, "callee": 0, "weight": -5}]}`, "negative weight"},
+		{`{"version": 1, "arcs": [{"site": 0, "callee": 0, "weight": 9223372036854775807}, {"site": 0, "callee": 0, "weight": 1}]}`,
+			"weight overflow on duplicate arc"},
+		{`{"version": 1, "entries": [{"method": 999, "overflow": true}]}`, "entry method 999 out of range"},
 	}
 	for _, c := range cases {
 		err := cg.UnmarshalInto([]byte(c.data))
 		if err == nil || !strings.Contains(err.Error(), c.sub) {
 			t.Errorf("UnmarshalInto(%q) err = %v, want %q", c.data, err, c.sub)
 		}
+	}
+}
+
+// TestUnmarshalCorruptEntries covers the entry-table validation that
+// needs real method/class IDs from the bound program, so the inputs are
+// built with Sprintf rather than written as literals.
+func TestUnmarshalCorruptEntries(t *testing.T) {
+	p := load(t)
+	mA, _, _ := methods(t, p) // m(x@A): arity 1
+	cases := []struct{ name, data, sub string }{
+		{"arity too wide",
+			fmt.Sprintf(`{"version": 1, "entries": [{"method": %d, "tuples": [[0, 0]]}]}`, mA.ID),
+			"tuple arity 2 does not match"},
+		{"arity too narrow",
+			fmt.Sprintf(`{"version": 1, "entries": [{"method": %d, "tuples": [[]]}]}`, mA.ID),
+			"tuple arity 0 does not match"},
+		{"class out of range",
+			fmt.Sprintf(`{"version": 1, "entries": [{"method": %d, "tuples": [[999]]}]}`, mA.ID),
+			"entry class 999 out of range"},
+		{"duplicate entry",
+			fmt.Sprintf(`{"version": 1, "entries": [{"method": %d, "overflow": true}, {"method": %d, "tuples": [[0]]}]}`, mA.ID, mA.ID),
+			"duplicate entry for method"},
+	}
+	for _, c := range cases {
+		cg := NewCallGraph(p)
+		err := cg.UnmarshalInto([]byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: UnmarshalInto err = %v, want %q", c.name, err, c.sub)
+		}
+	}
+}
+
+// Duplicate arcs with small weights are tolerated (Record accumulates,
+// as it does for live profiling); only an accumulation that would wrap
+// int64 is rejected.
+func TestUnmarshalDuplicateArcsAccumulate(t *testing.T) {
+	p := load(t)
+	cg := NewCallGraph(p)
+	data := `{"version": 1, "arcs": [{"site": 0, "callee": 0, "weight": 4}, {"site": 0, "callee": 0, "weight": 3}]}`
+	if err := cg.UnmarshalInto([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+	if cg.Len() != 1 || cg.TotalWeight() != 7 {
+		t.Fatalf("Len = %d, TotalWeight = %d, want 1 arc of weight 7", cg.Len(), cg.TotalWeight())
+	}
+}
+
+// Entries (tuples and the overflow marker) survive a marshal/unmarshal
+// round trip alongside the arcs.
+func TestEntriesRoundTrip(t *testing.T) {
+	p := load(t)
+	mA, mB, f := methods(t, p)
+	var clsA *hier.Class
+	for _, c := range p.H.Classes() {
+		if c.Name == "A" {
+			clsA = c
+		}
+	}
+	if clsA == nil {
+		t.Fatal("class A not found")
+	}
+	cg := NewCallGraph(p)
+	cg.Record(p.Bodies[f].Sites[0], mA, 10)
+	cg.RecordEntry(mA, []*hier.Class{clsA})
+	cg.entries[mB] = &tupleSet{overflow: true}
+
+	data, err := cg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCallGraph(p)
+	if err := back.UnmarshalInto(data); err != nil {
+		t.Fatal(err)
+	}
+	ts := back.Entries(mA)
+	if ts == nil || len(ts.Tuples) != 1 || ts.Overflow {
+		t.Fatalf("Entries(mA) = %+v", ts)
+	}
+	if ts := back.Entries(mB); ts == nil || !ts.Overflow {
+		t.Fatalf("Entries(mB) = %+v, want overflow marker", ts)
 	}
 }
 
