@@ -18,9 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"selspec/internal/bench"
@@ -65,12 +68,20 @@ func run() error {
 		return fmt.Errorf("unknown table %q", *table)
 	}
 
+	// Ctrl-C / SIGTERM flows into every grid cell through the same
+	// context plumbing as the per-cell -timeout: cells wind down as
+	// contained cancellation failures, the report and failure summary
+	// still render, and files in -json mode are never torn mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ho := bench.Options{
 		Quick:      *quick,
 		SpecParams: specialize.Params{Threshold: *threshold},
 		StepLimit:  *steplimit,
 		DepthLimit: *depth,
 		Timeout:    *timeout,
+		Context:    ctx,
 	}
 
 	if *exts {

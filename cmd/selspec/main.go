@@ -9,6 +9,7 @@
 //	selspec [flags] program.mc
 //	selspec [flags] -bench Richards
 //	selspec check [-format text|json] [-bench Name] program.mc...
+//	selspec serve [-addr host:port] [-max-concurrent N] [-timeout 30s]
 //
 // Examples:
 //
@@ -18,6 +19,7 @@
 //	selspec -profile out.json prog.mc        # write a training profile
 //	selspec -use-profile out.json -config Selective prog.mc
 //	selspec check -format json prog.mc       # static diagnostics as JSON
+//	selspec serve -addr :8080                # fault-isolated HTTP service
 package main
 
 import (
@@ -25,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"selspec/internal/check"
 	"selspec/internal/driver"
@@ -48,6 +52,9 @@ func main() {
 func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "check" {
 		return runCheck(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return runServe(os.Args[2:])
 	}
 	var (
 		configName = flag.String("config", "Base", "compiler configuration: "+strings.Join(opt.ConfigNames(), ", "))
@@ -102,7 +109,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	guards := driver.RunOptions{StepLimit: *stepLimit, DepthLimit: *depthLimit, Timeout: *timeout}
+	// Ctrl-C / SIGTERM cancels the run through the same context
+	// plumbing as -timeout: the interpreter winds down with a
+	// positioned error and pending output (profile files, stats) is
+	// either completely written or not started — never torn mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	guards := driver.RunOptions{StepLimit: *stepLimit, DepthLimit: *depthLimit, Timeout: *timeout, Context: ctx}
 
 	// Profile-writing mode.
 	if *writeProf != "" {
@@ -164,11 +177,13 @@ func run() error {
 	in.Mech = mech
 	in.StepLimit = *stepLimit
 	in.DepthLimit = *depthLimit
+	runCtx := ctx
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		in.Ctx = ctx
 	}
+	in.Ctx = runCtx
 	if *traceDisp {
 		in.Trace = os.Stderr
 	}

@@ -1,0 +1,87 @@
+package main
+
+// "selspec serve": the long-running service mode. One process serves
+// the full pipeline over HTTP with per-request fault isolation,
+// admission control, deadlines and graceful drain — see
+// internal/server for the machinery and README "Service mode" for the
+// operational contract.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"selspec/internal/pipeline"
+	"selspec/internal/server"
+)
+
+// serveListenHook, when non-nil, receives the bound address; tests
+// listen on :0 and need the kernel-assigned port.
+var serveListenHook func(net.Addr)
+
+// runServe implements "selspec serve". It blocks until SIGTERM/SIGINT,
+// then drains: admission stops, in-flight requests finish under the
+// drain deadline, and the process exits 0 on a clean drain.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("selspec serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		maxConc     = fs.Int("max-concurrent", 0, "max requests executing at once (0 = GOMAXPROCS)")
+		queueDepth  = fs.Int("queue", 0, "admitted requests that may wait for a slot before shedding with 429 (0 = 2×max-concurrent)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = -timeout)")
+		stepLimit   = fs.Uint64("step-limit", 0, "per-request interpreter step budget (0 = server default)")
+		depthLimit  = fs.Int("depth-limit", 0, "per-request call-depth limit (0 = interpreter default, negative = unlimited)")
+		drainT      = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests after SIGTERM")
+		breakerN    = fs.Int("breaker-threshold", 3, "consecutive contained panics that open a program's circuit")
+		breakerCool = fs.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit rejects a crashing program")
+		chaosP      = fs.Float64("chaos", 0, "TESTING: per-request probability of a seeded injected fault (panic or slow stage)")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "TESTING: PRNG seed for -chaos, for reproducible chaos runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	if *chaosP < 0 || *chaosP > 1 {
+		return fmt.Errorf("serve: -chaos must be in [0,1], got %v", *chaosP)
+	}
+	if *chaosP > 0 {
+		disarm := pipeline.ArmFaults(pipeline.NewInjector(*chaosSeed, server.ChaosRules(*chaosP, 0)...))
+		defer disarm()
+		fmt.Fprintf(os.Stderr, "selspec serve: CHAOS MODE armed (p=%v seed=%d): injected faults will surface as per-request errors\n",
+			*chaosP, *chaosSeed)
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		StepLimit:        *stepLimit,
+		DepthLimit:       *depthLimit,
+		DrainTimeout:     *drainT,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerCool,
+	})
+	srv.OnListen = func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "selspec serve: listening on %s\n", a)
+		if serveListenHook != nil {
+			serveListenHook(a)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "selspec serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle drives the real serve mode end to end in-process:
+// bind :0, serve a request, check liveness, then deliver a real
+// SIGTERM and require a clean drain (runServe returns nil).
+func TestServeLifecycle(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	serveListenHook = func(a net.Addr) { addrCh <- a }
+	defer func() { serveListenHook = nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- runServe([]string{"-addr", "127.0.0.1:0"}) }()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never bound its listener")
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"source": cliProg, "config": "Selective", "stats": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run struct {
+		Value  string `json:"value"`
+		Output string `json:"output"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || run.Value != "15" || !strings.Contains(run.Output, "total 15") {
+		t.Fatalf("run: status %d value %q output %q", resp.StatusCode, run.Value, run.Output)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		hr, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, hr.StatusCode)
+		}
+	}
+
+	// A real SIGTERM (not a method call) must drain and exit cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve did not drain cleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+
+	// The listener is gone after the drain.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still serving after drain")
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-addr"},                  // missing value
+		{"extra-arg"},              // positional args rejected
+		{"-chaos", "1.5"},          // probability out of range
+		{"-addr", "not-an-addr:x"}, // unparseable port
+	}
+	for _, args := range cases {
+		if err := runServe(args); err == nil {
+			t.Errorf("runServe(%v): expected error", args)
+		}
+	}
+}
+
+// TestServeChaosMode: with -chaos armed, the server must keep serving
+// through injected faults — every response is either a success or a
+// structured error, and the process-level health stays green.
+func TestServeChaosMode(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	serveListenHook = func(a net.Addr) { addrCh <- a }
+	defer func() { serveListenHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe([]string{"-addr", "127.0.0.1:0", "-chaos", "0.5", "-chaos-seed", "7",
+			"-breaker-threshold", "1000"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never bound its listener")
+	}
+
+	okCount, faultCount := 0, 0
+	for i := 0; i < 16; i++ {
+		body := fmt.Sprintf(`{"source": %q, "label": "chaos-%d"}`, cliProg, i)
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload map[string]any
+		if derr := json.NewDecoder(resp.Body).Decode(&payload); derr != nil {
+			t.Fatalf("request %d: undecodable body: %v", i, derr)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okCount++
+			if payload["value"] != "15" {
+				t.Errorf("request %d: value = %v", i, payload["value"])
+			}
+		case http.StatusInternalServerError:
+			faultCount++
+			if payload["kind"] != "panic" {
+				t.Errorf("request %d: kind = %v", i, payload["kind"])
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d (%v)", i, resp.StatusCode, payload)
+		}
+	}
+	if okCount == 0 {
+		t.Error("chaos mode: no request succeeded")
+	}
+	if faultCount == 0 {
+		t.Error("chaos p=0.5 over 16 requests injected nothing (seed drift?)")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("chaos serve did not drain cleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("chaos serve did not exit after SIGTERM")
+	}
+}

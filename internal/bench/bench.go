@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -57,14 +58,18 @@ type Options struct {
 	// Timeout is the per-cell wall-clock budget (0 = none): one
 	// runaway cell cannot stall the whole grid.
 	Timeout time.Duration
-
-	// OptExtra and RunExtra, when non-nil, tweak each cell's compile
-	// and run options (ablations, test fault injection). They run
-	// inside the cell's fault boundary: a panicking hook poisons only
-	// its own cell.
-	OptExtra func(bench string, cfg opt.Config, oo *opt.Options)
-	RunExtra func(bench string, cfg opt.Config, ro *driver.RunOptions)
+	// Context, when non-nil, cancels every cell when it is done — how
+	// the paperbench CLI turns SIGINT/SIGTERM into a prompt, orderly
+	// wind-down (cells fail with a cancellation error, the report and
+	// failure summary still render) instead of a mid-write kill.
+	Context context.Context
 }
+
+// Fault injection for degradation tests goes through the pipeline
+// seam (pipeline.ArmFaults), not through per-cell option hooks: every
+// Guard boundary in the grid is a named fault point, so tests poison
+// exact (benchmark, config) cells without bench threading test-only
+// closures through its options.
 
 // runOptions assembles the per-cell RunOptions for one benchmark.
 func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map[string]int64) driver.RunOptions {
@@ -74,9 +79,7 @@ func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map
 		StepLimit:  ho.StepLimit,
 		DepthLimit: ho.DepthLimit,
 		Timeout:    ho.Timeout,
-	}
-	if ho.RunExtra != nil {
-		ho.RunExtra(b.Name, cfg, &ro)
+		Context:    ho.Context,
 	}
 	return ro
 }
@@ -148,9 +151,6 @@ func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options)
 			return nil, err
 		}
 		oo.Specializations = res.Specializations
-		if ho.OptExtra != nil {
-			ho.OptExtra(b.Name, cfg, &oo)
-		}
 		c, err := pipeline.Compile(b.Name, p.Prog, oo)
 		if err != nil {
 			return nil, err
@@ -163,9 +163,6 @@ func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options)
 		return out, nil
 	}
 
-	if ho.OptExtra != nil {
-		ho.OptExtra(b.Name, cfg, &oo)
-	}
 	c, err := pipeline.Compile(b.Name, p.Prog, oo)
 	if err != nil {
 		return nil, err
@@ -283,8 +280,9 @@ func RunSuite(ho Options) (*Suite, error) {
 				cl := cells[i]
 				b, cfg := benches[cl.bench], cfgs[cl.cfg]
 				// The harness-level guard is the cell's last line of
-				// defense: panics in bench code or caller hooks that no
-				// inner stage boundary contained stop here, not the grid.
+				// defense: panics in bench code (or injected at this
+				// cell's named fault point) that no inner stage
+				// boundary contained stop here, not the grid.
 				results[i], errs[i] = pipeline.Guard(pipeline.StageHarness, b.Name, cfg.String(),
 					func() (*Result, error) { return RunOn(pipes[cl.bench], b, cfg, ho) })
 			}

@@ -7,17 +7,18 @@ import (
 	"testing"
 	"time"
 
-	"selspec/internal/driver"
 	"selspec/internal/opt"
+	"selspec/internal/pipeline"
 	"selspec/internal/specialize"
 )
 
-// poisonedSuite runs the grid with a config-override hook that panics
-// for exactly one cell (InstSched under CHA): the acceptance test for
-// graceful degradation — a deliberately crashing cell must produce one
-// recorded Failure plus complete, unchanged results for every other
-// cell. Shared by the assertions below; run with -race in CI, so it
-// also exercises the worker pool's containment under the race detector.
+// poisonedSuite runs the grid with the pipeline fault-injection seam
+// armed to panic for exactly one cell (InstSched under CHA, at its
+// harness-level guard): the acceptance test for graceful degradation —
+// a deliberately crashing cell must produce one recorded Failure plus
+// complete, unchanged results for every other cell. Shared by the
+// assertions below; run with -race in CI, so it also exercises the
+// worker pool's containment under the race detector.
 var poisoned *Suite
 
 func poisonedSuite(t *testing.T) *Suite {
@@ -25,18 +26,21 @@ func poisonedSuite(t *testing.T) *Suite {
 	if poisoned != nil {
 		return poisoned
 	}
+	inj := pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageHarness, Program: "InstSched", Config: "CHA",
+		Action: pipeline.FaultPanic, Message: "injected: poisoned cell",
+	})
+	defer pipeline.ArmFaults(inj)()
 	s, err := RunSuite(Options{
 		Quick:      true,
 		StepLimit:  500_000_000,
 		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
-		OptExtra: func(bench string, cfg opt.Config, oo *opt.Options) {
-			if bench == "InstSched" && cfg == opt.CHA {
-				panic("injected: poisoned compile options")
-			}
-		},
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if n := inj.Fired(pipeline.StageHarness, "InstSched", "CHA"); n != 1 {
+		t.Fatalf("fault fired %d times, want exactly once", n)
 	}
 	poisoned = s
 	return s
@@ -52,9 +56,9 @@ func TestPoisonedCellIsContained(t *testing.T) {
 		t.Errorf("failure cell = %s/%s", f.Benchmark, f.Config)
 	}
 	if f.Stage != "harness" {
-		t.Errorf("stage = %q, want harness (a hook panic is a harness-level fault)", f.Stage)
+		t.Errorf("stage = %q, want harness (the seam fires at the cell's harness guard)", f.Stage)
 	}
-	if !strings.Contains(f.Error, "injected: poisoned compile options") {
+	if !strings.Contains(f.Error, "injected: poisoned cell") {
 		t.Errorf("error = %q", f.Error)
 	}
 	if s.Results["InstSched"][opt.CHA] != nil {
@@ -156,18 +160,18 @@ func TestCleanSuiteJSONFailuresPresent(t *testing.T) {
 	}
 }
 
-// TestRunExtraFaultContained: a panic in the run-options hook (the
-// other injection point) is likewise contained per cell.
-func TestRunExtraFaultContained(t *testing.T) {
+// TestSecondCellFaultContained: a seam-injected panic in a different
+// cell (Richards under Base) is likewise contained per cell.
+func TestSecondCellFaultContained(t *testing.T) {
+	inj := pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageHarness, Program: "Richards", Config: "Base",
+		Action: pipeline.FaultPanic, Message: "injected: poisoned cell",
+	})
+	defer pipeline.ArmFaults(inj)()
 	s, err := RunSuite(Options{
 		Quick:      true,
 		StepLimit:  500_000_000,
 		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
-		RunExtra: func(bench string, cfg opt.Config, ro *driver.RunOptions) {
-			if bench == "Richards" && cfg == opt.Base {
-				panic("injected: poisoned run options")
-			}
-		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"selspec/internal/opt"
+)
+
+func configByName(t *testing.T, name string) opt.Config {
+	t.Helper()
+	for _, cfg := range opt.Configs() {
+		if cfg.String() == name {
+			return cfg
+		}
+	}
+	t.Fatalf("unknown config %q", name)
+	return 0
+}
+
+// TestJSONRoundTrip: the perf-trajectory JSON (the contract surface
+// other tooling diffs against) must decode back into an equivalent
+// JSONTrajectory — every field, including the failures array from a
+// poisoned run — and re-encode byte-identically. Any field rename,
+// omitted tag, or float drift breaks this test before it breaks a
+// downstream consumer.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		suite *Suite
+	}{
+		{"clean", quickSuite(t)},
+		{"poisoned", poisonedSuite(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var first bytes.Buffer
+			if err := tc.suite.WriteJSON(&first, 1234*time.Millisecond, true); err != nil {
+				t.Fatal(err)
+			}
+
+			var tr JSONTrajectory
+			if err := json.Unmarshal(first.Bytes(), &tr); err != nil {
+				t.Fatal(err)
+			}
+			if tr.SuiteWallNS != (1234 * time.Millisecond).Nanoseconds() {
+				t.Errorf("suite_wall_ns = %d", tr.SuiteWallNS)
+			}
+			if !tr.Quick {
+				t.Error("quick flag lost")
+			}
+			if tr.Results == nil || tr.Failures == nil {
+				t.Fatal("results/failures decoded as null")
+			}
+			if tc.name == "poisoned" {
+				if len(tr.Failures) != 1 || tr.Failures[0].Benchmark != "InstSched" ||
+					tr.Failures[0].Config != "CHA" || tr.Failures[0].Stage != "harness" {
+					t.Errorf("failures = %+v", tr.Failures)
+				}
+			} else if len(tr.Failures) != 0 {
+				t.Errorf("clean run has failures: %+v", tr.Failures)
+			}
+			// Spot-check that a decoded row carries every metric field,
+			// not just the ones with non-zero defaults.
+			r := tr.Results[0]
+			if r.Benchmark == "" || r.Config == "" || r.Cycles == 0 || r.IRNodes == 0 {
+				t.Errorf("decoded row lost fields: %+v", r)
+			}
+			if tc.suite.Results[r.Benchmark] == nil ||
+				tc.suite.Results[r.Benchmark][configByName(t, r.Config)].Cycles != r.Cycles {
+				t.Errorf("row %s/%s does not match the in-memory suite", r.Benchmark, r.Config)
+			}
+
+			// Re-encoding the decoded struct reproduces the file
+			// byte-for-byte: the Go types are a complete model of the
+			// format, with nothing dropped or reordered.
+			var second bytes.Buffer
+			enc := json.NewEncoder(&second)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tr); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("re-encoded JSON differs from original:\n--- first\n%s\n--- second\n%s",
+					first.String(), second.String())
+			}
+
+			// And a second decode of the re-encoding is structurally equal.
+			var tr2 JSONTrajectory
+			if err := json.Unmarshal(second.Bytes(), &tr2); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tr, tr2) {
+				t.Error("double round trip is not a fixed point")
+			}
+		})
+	}
+}

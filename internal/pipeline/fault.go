@@ -1,0 +1,221 @@
+// Fault injection: a first-class, seeded seam at every Guard boundary.
+//
+// PR 3 proved fault containment with ad-hoc "poisoned options" closures
+// living inside bench's tests; the seam here promotes that pattern into
+// the pipeline itself so every consumer — the bench grid, the serve
+// mode's chaos tests, future soak harnesses — can inject panics, errors
+// and slow stages at named points without threading test hooks through
+// production signatures.
+//
+// Every Guard boundary is a named fault point identified by its
+// (stage, program, config) triple. An armed Injector is consulted once
+// per Guard entry; rules match a point by exact fields (empty = any)
+// and fire a panic, an injected error, or a delay. Firing happens
+// INSIDE the recovery boundary, so an injected panic is contained
+// exactly like a real one: the caller sees a *StageError for that
+// stage, never a process abort.
+//
+// The seam is disarmed by default — one atomic pointer load per Guard,
+// nil in production — and armed only by tests and by `selspec serve
+// -chaos`, whose probabilistic rules draw from a seeded PRNG so chaos
+// runs are reproducible.
+
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultAction is what a matched fault rule does at its injection point.
+type FaultAction int
+
+const (
+	// FaultPanic panics at the stage boundary; the Guard converts it
+	// into a *StageError with a stack, exactly like an organic panic.
+	FaultPanic FaultAction = iota
+	// FaultError makes the stage return an *InjectedError without
+	// running it.
+	FaultError
+	// FaultSleep delays the stage by Delay, then runs it normally —
+	// the slow-stage simulation deadline tests lean on.
+	FaultSleep
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case FaultPanic:
+		return "panic"
+	case FaultError:
+		return "error"
+	case FaultSleep:
+		return "sleep"
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// FaultRule arms one kind of fault at a set of points. Empty match
+// fields are wildcards; Probability 0 (or ≥1) fires on every match,
+// anything between draws from the injector's seeded PRNG.
+type FaultRule struct {
+	Stage   Stage  // "" = any stage
+	Program string // "" = any unit label
+	Config  string // "" = any configuration
+	Action  FaultAction
+	Delay   time.Duration // FaultSleep only
+	Message string        // panic/error text (default "injected fault")
+
+	// Probability in (0,1) fires the rule on that fraction of matches,
+	// using the injector's seeded source; 0 or ≥1 always fires.
+	Probability float64
+
+	// Limit, when positive, disarms the rule after it has fired this
+	// many times ("crash the first N attempts, then recover").
+	Limit int
+}
+
+// InjectedError is the error an armed FaultError rule returns; tests
+// match on the type to tell injected faults from organic ones.
+type InjectedError struct {
+	Point string // "stage [program/config]" of the firing point
+	Msg   string
+}
+
+func (e *InjectedError) Error() string { return "injected fault at " + e.Point + ": " + e.Msg }
+
+// Injector evaluates fault rules at Guard boundaries. It is safe for
+// concurrent use; the hit counters make chaos assertions deterministic
+// ("exactly the faulted requests failed").
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []FaultRule
+	fired map[int]int   // per-rule fire counts (by rule index)
+	hits  map[point]int // per-point fire counts
+}
+
+// point identifies one Guard boundary for hit accounting.
+type point struct {
+	stage           Stage
+	program, config string
+}
+
+// NewInjector builds an injector with a deterministic seed for its
+// probabilistic rules.
+func NewInjector(seed int64, rules ...FaultRule) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: rules,
+		fired: make(map[int]int),
+		hits:  make(map[point]int),
+	}
+}
+
+func pointName(stage Stage, program, config string) string {
+	s := string(stage)
+	if program != "" || config != "" {
+		s += " [" + program
+		if config != "" {
+			s += "/" + config
+		}
+		s += "]"
+	}
+	return s
+}
+
+// Fired reports how many times any rule fired at points matching the
+// given triple (empty fields are wildcards, mirroring rule matching).
+func (inj *Injector) Fired(stage Stage, program, config string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	n := 0
+	for p, c := range inj.hits {
+		if (stage == "" || stage == p.stage) &&
+			(program == "" || program == p.program) &&
+			(config == "" || config == p.config) {
+			n += c
+		}
+	}
+	return n
+}
+
+// TotalFired reports the total number of injected faults.
+func (inj *Injector) TotalFired() int { return inj.Fired("", "", "") }
+
+// fire consults the rules for one Guard entry. It panics (FaultPanic),
+// returns an error (FaultError), sleeps then returns nil (FaultSleep),
+// or returns nil when nothing matches. At most one rule fires per
+// entry: the first match wins, in arming order.
+func (inj *Injector) fire(stage Stage, program, config string) error {
+	inj.mu.Lock()
+	var hit *FaultRule
+	var idx int
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.Stage != "" && r.Stage != stage {
+			continue
+		}
+		if r.Program != "" && r.Program != program {
+			continue
+		}
+		if r.Config != "" && r.Config != config {
+			continue
+		}
+		if r.Limit > 0 && inj.fired[i] >= r.Limit {
+			continue
+		}
+		if r.Probability > 0 && r.Probability < 1 && inj.rng.Float64() >= r.Probability {
+			continue
+		}
+		hit, idx = r, i
+		break
+	}
+	if hit == nil {
+		inj.mu.Unlock()
+		return nil
+	}
+	inj.fired[idx]++
+	inj.hits[point{stage, program, config}]++
+	name := pointName(stage, program, config)
+	msg := hit.Message
+	if msg == "" {
+		msg = "injected fault"
+	}
+	action, delay := hit.Action, hit.Delay
+	inj.mu.Unlock() // release before panicking/sleeping: Guards nest
+
+	switch action {
+	case FaultPanic:
+		panic(&InjectedError{Point: name, Msg: msg})
+	case FaultError:
+		return &InjectedError{Point: name, Msg: msg}
+	case FaultSleep:
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// armed is the process-wide injector; nil (the production state) makes
+// the seam a single atomic load per Guard.
+var armed atomic.Pointer[Injector]
+
+// ArmFaults installs inj at every Guard boundary and returns the
+// disarm function, which restores whatever was armed before. Tests
+// must disarm (defer disarm()) so state never leaks across tests;
+// `selspec serve -chaos` arms for the life of the process.
+func ArmFaults(inj *Injector) (disarm func()) {
+	prev := armed.Swap(inj)
+	return func() { armed.Store(prev) }
+}
+
+// inject is the Guard-side hook: nil when disarmed.
+func inject(stage Stage, program, config string) error {
+	inj := armed.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.fire(stage, program, config)
+}

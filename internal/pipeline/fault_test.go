@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func guardOK(stage Stage, program, config string) (int, error) {
+	return Guard(stage, program, config, func() (int, error) { return 42, nil })
+}
+
+func TestDisarmedSeamIsInert(t *testing.T) {
+	v, err := guardOK(StageCompile, "p", "Base")
+	if err != nil || v != 42 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+}
+
+func TestInjectedPanicIsContained(t *testing.T) {
+	inj := NewInjector(1, FaultRule{
+		Stage: StageCompile, Program: "victim", Config: "CHA",
+		Action: FaultPanic, Message: "boom",
+	})
+	defer ArmFaults(inj)()
+
+	// Non-matching points run untouched.
+	if v, err := guardOK(StageCompile, "other", "CHA"); err != nil || v != 42 {
+		t.Fatalf("non-matching point: (%d, %v)", v, err)
+	}
+	if v, err := guardOK(StageInterp, "victim", "CHA"); err != nil || v != 42 {
+		t.Fatalf("wrong stage: (%d, %v)", v, err)
+	}
+
+	// The matching point panics inside the boundary: a StageError with
+	// a stack, wrapping the InjectedError.
+	v, err := guardOK(StageCompile, "victim", "CHA")
+	if v != 0 || err == nil {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Stage != StageCompile || se.Stack == nil {
+		t.Errorf("StageError = %+v, want compile stage with stack", se)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Msg != "boom" {
+		t.Errorf("cause = %v, want InjectedError boom", err)
+	}
+	if n := inj.Fired(StageCompile, "victim", "CHA"); n != 1 {
+		t.Errorf("Fired = %d", n)
+	}
+	if n := inj.Fired("", "victim", ""); n != 1 {
+		t.Errorf("wildcard Fired = %d", n)
+	}
+}
+
+func TestInjectedErrorSkipsStage(t *testing.T) {
+	inj := NewInjector(1, FaultRule{Stage: StageParse, Action: FaultError, Message: "no parse today"})
+	defer ArmFaults(inj)()
+
+	ran := false
+	_, err := Guard(StageParse, "p", "", func() (int, error) { ran = true; return 1, nil })
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want InjectedError", err)
+	}
+	if ran {
+		t.Error("stage body ran despite FaultError")
+	}
+	// FaultError is an ordinary error, not a contained panic.
+	var se *StageError
+	if errors.As(err, &se) {
+		t.Errorf("injected error wrapped in StageError: %v", err)
+	}
+}
+
+func TestInjectedSleepDelaysThenRuns(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	inj := NewInjector(1, FaultRule{Stage: StageInterp, Action: FaultSleep, Delay: delay})
+	defer ArmFaults(inj)()
+
+	start := time.Now()
+	v, err := guardOK(StageInterp, "p", "Base")
+	if err != nil || v != 42 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+	if wall := time.Since(start); wall < delay {
+		t.Errorf("stage completed in %v, want ≥ %v", wall, delay)
+	}
+}
+
+func TestRuleLimitDisarms(t *testing.T) {
+	inj := NewInjector(1, FaultRule{Stage: StageCompile, Action: FaultError, Limit: 2})
+	defer ArmFaults(inj)()
+
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if _, err := guardOK(StageCompile, "p", "Base"); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("rule fired %d times, want 2 (Limit)", fails)
+	}
+}
+
+func TestProbabilityIsSeededAndPartial(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := NewInjector(seed, FaultRule{Action: FaultError, Probability: 0.5})
+		disarm := ArmFaults(inj)
+		defer disarm()
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			_, err := guardOK(StageInterp, "p", "")
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestFirstMatchWinsAndDisarmRestores(t *testing.T) {
+	inner := NewInjector(1,
+		FaultRule{Stage: StageCheck, Action: FaultError, Message: "first"},
+		FaultRule{Stage: StageCheck, Action: FaultPanic, Message: "second"},
+	)
+	outer := NewInjector(1, FaultRule{Stage: StageCheck, Action: FaultError, Message: "outer"})
+
+	disarmOuter := ArmFaults(outer)
+	disarmInner := ArmFaults(inner)
+
+	_, err := guardOK(StageCheck, "p", "")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Msg != "first" {
+		t.Fatalf("err = %v, want first rule", err)
+	}
+
+	disarmInner()
+	_, err = guardOK(StageCheck, "p", "")
+	if !errors.As(err, &ie) || ie.Msg != "outer" {
+		t.Fatalf("after inner disarm err = %v, want outer rule", err)
+	}
+
+	disarmOuter()
+	if _, err := guardOK(StageCheck, "p", ""); err != nil {
+		t.Fatalf("after full disarm err = %v", err)
+	}
+}

@@ -104,6 +104,11 @@ func posOf(err error) lang.Pos {
 // pair. A panic in fn becomes a *StageError carrying the recovered
 // value and the goroutine stack; ordinary errors pass through
 // untouched. The zero value of T is returned alongside any error.
+//
+// Every Guard entry is also a named fault point: when an Injector is
+// armed (tests, chaos mode — see fault.go), it may panic, fail, or
+// delay the stage here, inside the recovery boundary, so injected
+// faults are contained exactly like organic ones.
 func Guard[T any](stage Stage, program, config string, fn func() (T, error)) (out T, err error) {
 	defer func() {
 		r := recover()
@@ -125,6 +130,10 @@ func Guard[T any](stage Stage, program, config string, fn func() (T, error)) (ou
 			Stack:   debug.Stack(),
 		}
 	}()
+	if ferr := inject(stage, program, config); ferr != nil {
+		var zero T
+		return zero, ferr
+	}
 	return fn()
 }
 

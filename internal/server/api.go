@@ -1,0 +1,90 @@
+package server
+
+// The wire types of the specialization service. Everything is JSON;
+// errors are always a structured ErrorBody, never a bare string, so
+// clients (and the chaos tests) can match on Kind and Stage instead of
+// scraping messages.
+
+// RunRequest asks the service to run one Mini-Cecil program through
+// the full pipeline (parse → build → check profile → specialize →
+// compile → interpret) under one compiler configuration.
+type RunRequest struct {
+	// Source is the Mini-Cecil program text. Exactly one of Source and
+	// Bench must be set.
+	Source string `json:"source,omitempty"`
+	// Bench names an embedded benchmark (Richards, InstSched, ...) to
+	// run instead of posted source.
+	Bench string `json:"bench,omitempty"`
+	// Label names the request in diagnostics and contained-fault
+	// reports (defaults to the bench name or "request").
+	Label string `json:"label,omitempty"`
+	// Config selects the compiler configuration (default Base).
+	Config string `json:"config,omitempty"`
+	// Dispatch selects the dispatch mechanism (default PIC).
+	Dispatch string `json:"dispatch,omitempty"`
+	// Threshold overrides the Selective specialization threshold.
+	Threshold int64 `json:"threshold,omitempty"`
+	// TimeoutMS lowers the per-request deadline below the server
+	// default; values above the server maximum are capped, not errors.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stats includes compile/run statistics in the response.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// RunStats mirrors the one-shot CLI's -stats output.
+type RunStats struct {
+	Dispatches      uint64 `json:"dispatches"`
+	VersionSelects  uint64 `json:"version_selects"`
+	Cycles          uint64 `json:"cycles"`
+	StaticVersions  int    `json:"static_versions"`
+	InvokedVersions int    `json:"invoked_versions"`
+	IRNodes         int    `json:"ir_nodes"`
+	WallNS          int64  `json:"wall_ns"`
+}
+
+// RunResponse is a successful run: the program's final value and its
+// captured print output, byte-identical to a one-shot CLI run of the
+// same program under the same configuration.
+type RunResponse struct {
+	Value  string    `json:"value"`
+	Output string    `json:"output"`
+	Config string    `json:"config"`
+	Stats  *RunStats `json:"stats,omitempty"`
+}
+
+// Error kinds, coarser than HTTP status codes: what went wrong and
+// whether retrying can help.
+const (
+	KindBadRequest  = "bad_request"   // malformed request; do not retry
+	KindOverloaded  = "overloaded"    // admission queue full; retry after backoff
+	KindDraining    = "draining"      // server shutting down; retry elsewhere
+	KindCircuitOpen = "circuit_open"  // this program keeps crashing; cooling down
+	KindDeadline    = "deadline"      // per-request deadline exceeded
+	KindCanceled    = "canceled"      // client went away mid-run
+	KindPanic       = "panic"         // contained pipeline panic (isolated to this request)
+	KindProgram     = "program_error" // ordinary program error (parse, runtime, guard trip)
+)
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+	// Stage is the pipeline stage that faulted, when one did
+	// (parse, compile, interp, harness, ...).
+	Stage string `json:"stage,omitempty"`
+	// RetryAfterMS hints when a retry may succeed (shedding, open
+	// circuit); mirrored in the Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Health is the /healthz and /readyz body: liveness plus the admission
+// and containment counters an operator (or a drain test) watches.
+type Health struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	InFlight     int64  `json:"in_flight"`
+	Queued       int64  `json:"queued"`
+	Served       uint64 `json:"served"`
+	Shed         uint64 `json:"shed"`
+	Faulted      uint64 `json:"faulted"` // contained pipeline panics
+	CircuitsOpen int    `json:"circuits_open"`
+}

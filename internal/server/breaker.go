@@ -1,0 +1,130 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-program circuit breaker: a program (keyed by a hash
+// of its source) that repeatedly crashes the pipeline is rejected for a
+// cooldown period instead of burning a worker slot on every attempt.
+// Ordinary program errors (parse errors, runtime errors, guard trips)
+// never open a circuit — only contained panics do, because those are
+// the requests that cost a full pipeline run to discover and indicate
+// an input that will keep crashing.
+//
+// States per key, classic three-state design:
+//
+//	closed    — requests flow; consecutive crash count accumulates
+//	open      — requests rejected until the cooldown expires
+//	half-open — one trial request is admitted; success closes the
+//	            circuit, another crash re-opens it
+type breaker struct {
+	mu         sync.Mutex
+	threshold  int           // consecutive crashes to open
+	cooldown   time.Duration // open duration before a half-open trial
+	maxEntries int           // bound on tracked programs
+	entries    map[string]*circuit
+	now        func() time.Time // injectable clock for tests
+}
+
+type circuit struct {
+	crashes   int       // consecutive crashes while closed
+	openUntil time.Time // zero when closed
+	trial     bool      // half-open probe in flight
+	touched   time.Time // for eviction
+}
+
+func newBreaker(threshold int, cooldown time.Duration, maxEntries int) *breaker {
+	return &breaker{
+		threshold:  threshold,
+		cooldown:   cooldown,
+		maxEntries: maxEntries,
+		entries:    make(map[string]*circuit),
+		now:        time.Now,
+	}
+}
+
+// allow reports whether a request for key may run now. When the
+// circuit is open it returns false and how long to wait before
+// retrying. An expired circuit admits exactly one half-open trial;
+// concurrent requests for the same key keep being rejected until the
+// trial reports back through record.
+func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.entries[key]
+	if c == nil {
+		return true, 0
+	}
+	now := b.now()
+	c.touched = now
+	if c.openUntil.IsZero() {
+		return true, 0
+	}
+	if now.Before(c.openUntil) {
+		return false, c.openUntil.Sub(now)
+	}
+	if c.trial {
+		// A half-open probe is already running; stay rejected for
+		// roughly one more cooldown rather than stampeding.
+		return false, b.cooldown
+	}
+	c.trial = true
+	return true, 0
+}
+
+// record reports one completed run for key. crashed means the pipeline
+// panicked (a contained fault), not that the program returned an
+// ordinary error.
+func (b *breaker) record(key string, crashed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.entries[key]
+	if !crashed {
+		if c != nil {
+			delete(b.entries, key) // healthy again: forget the history
+		}
+		return
+	}
+	if c == nil {
+		c = &circuit{}
+		b.insert(key, c)
+	}
+	c.crashes++
+	c.trial = false
+	c.touched = b.now()
+	if c.crashes >= b.threshold {
+		c.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// openCount reports how many circuits are currently open.
+func (b *breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now, n := b.now(), 0
+	for _, c := range b.entries {
+		if !c.openUntil.IsZero() && now.Before(c.openUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// insert adds a circuit, evicting the least-recently-touched entry
+// when the table is full, so a stream of distinct crashing programs
+// cannot grow server memory without bound.
+func (b *breaker) insert(key string, c *circuit) {
+	if len(b.entries) >= b.maxEntries {
+		var oldestKey string
+		var oldest time.Time
+		for k, e := range b.entries {
+			if oldestKey == "" || e.touched.Before(oldest) {
+				oldestKey, oldest = k, e.touched
+			}
+		}
+		delete(b.entries, oldestKey)
+	}
+	b.entries[key] = c
+}

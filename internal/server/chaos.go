@@ -1,0 +1,34 @@
+package server
+
+import (
+	"time"
+
+	"selspec/internal/pipeline"
+)
+
+// ChaosRules builds the fault rules `selspec serve -chaos` arms:
+// seeded, probabilistic panics and slow stages at the per-request
+// harness boundary. p is the total fault probability per request
+// (split evenly between panic and delay); delay is the slow-stage
+// duration (default 50ms). Chaos mode exists to demonstrate — against
+// a live server, reproducibly — that injected faults surface as
+// structured per-request errors and never take the process down.
+func ChaosRules(p float64, delay time.Duration) []pipeline.FaultRule {
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	return []pipeline.FaultRule{
+		{
+			Stage:       pipeline.StageHarness,
+			Action:      pipeline.FaultPanic,
+			Message:     "chaos: injected panic",
+			Probability: p / 2,
+		},
+		{
+			Stage:       pipeline.StageHarness,
+			Action:      pipeline.FaultSleep,
+			Delay:       delay,
+			Probability: p / 2,
+		},
+	}
+}

@@ -1,0 +1,248 @@
+package server
+
+// The chaos suite is the acceptance test for the service's fault
+// isolation (run under -race in CI): a storm of concurrent requests
+// with injected stage panics, injected errors, deadline blowups and
+// slow stages must produce structured errors on exactly the faulted
+// requests, byte-identical results to one-shot CLI runs on every
+// healthy request, and a drain that completes every request already
+// past admission.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"selspec/internal/opt"
+	"selspec/internal/pipeline"
+)
+
+// chaosKind labels what a chaos request expects.
+type chaosKind int
+
+const (
+	chaosHealthy chaosKind = iota
+	chaosPanic             // injected compile-stage panic → 500 KindPanic
+	chaosError             // injected stage error → 422 KindProgram
+	chaosDeadline          // runaway program under a short deadline → 504
+	chaosSlowStage         // injected slow stage blowing the deadline → 504
+)
+
+func TestChaosStorm(t *testing.T) {
+	const N = 48 // well above the ≥32 acceptance floor
+
+	cfgs := opt.Configs()
+
+	// Expected results for healthy requests, one per configuration,
+	// computed through the one-shot driver API BEFORE arming faults.
+	expect := make(map[opt.Config]struct{ value, output string })
+	for _, cfg := range cfgs {
+		res := oneShot(t, testProg, cfg)
+		expect[cfg] = struct{ value, output string }{res.Value, res.Output}
+	}
+
+	// Assign scenarios and build one precise fault rule per faulted
+	// request, matched by its unique label so nothing else can trip it.
+	kinds := make([]chaosKind, N)
+	var rules []pipeline.FaultRule
+	label := func(i int) string { return fmt.Sprintf("req-%d", i) }
+	for i := 0; i < N; i++ {
+		switch i % 8 {
+		case 1:
+			kinds[i] = chaosPanic
+			rules = append(rules, pipeline.FaultRule{
+				Stage: pipeline.StageCompile, Program: label(i),
+				Action: pipeline.FaultPanic, Message: "chaos panic",
+			})
+		case 3:
+			kinds[i] = chaosError
+			rules = append(rules, pipeline.FaultRule{
+				Stage: pipeline.StageCompile, Program: label(i),
+				Action: pipeline.FaultError, Message: "chaos error",
+			})
+		case 5:
+			kinds[i] = chaosDeadline
+		case 7:
+			kinds[i] = chaosSlowStage
+			rules = append(rules, pipeline.FaultRule{
+				Stage: pipeline.StageHarness, Program: label(i),
+				Action: pipeline.FaultSleep, Delay: 150 * time.Millisecond,
+			})
+		default:
+			kinds[i] = chaosHealthy
+		}
+	}
+	inj := pipeline.NewInjector(1, rules...)
+	defer pipeline.ArmFaults(inj)()
+
+	srv := New(Config{
+		MaxConcurrent: 8,
+		QueueDepth:    N, // no shedding in this test: every request runs
+		// High threshold: the breaker has its own test; here every
+		// faulted request must reach the pipeline.
+		BreakerThreshold: N,
+		DefaultTimeout:   time.Minute,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type outcome struct {
+		code int
+		run  RunResponse
+		errb ErrorBody
+	}
+	outcomes := make([]outcome, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := RunRequest{Label: label(i)}
+			switch kinds[i] {
+			case chaosDeadline:
+				req.Source, req.TimeoutMS = loopProg, 60
+			case chaosSlowStage:
+				// The injected 150ms harness delay alone blows this
+				// deadline; the runaway body makes the cancellation
+				// land in the interpreter's polling.
+				req.Source, req.TimeoutMS = loopProg, 60
+			case chaosPanic, chaosError:
+				// Unique source per faulted request keeps breaker keys
+				// distinct from the healthy program's.
+				req.Source = fmt.Sprintf("-- chaos %d\n%s", i, testProg)
+			default:
+				req.Source = testProg
+				req.Config = cfgs[i%len(cfgs)].String()
+			}
+			code, _, data := post(t, ts, req)
+			o := outcome{code: code}
+			if code == http.StatusOK {
+				o.run = decodeRun(t, data)
+			} else {
+				o.errb = decodeErr(t, data)
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+
+	wantPanics := 0
+	for i, o := range outcomes {
+		switch kinds[i] {
+		case chaosHealthy:
+			if o.code != http.StatusOK {
+				t.Errorf("req-%d (healthy): status %d body %+v", i, o.code, o.errb)
+				continue
+			}
+			want := expect[cfgs[i%len(cfgs)]]
+			if o.run.Value != want.value || o.run.Output != want.output {
+				t.Errorf("req-%d (healthy, %s): cross-request interference: got (%q, %q), one-shot (%q, %q)",
+					i, cfgs[i%len(cfgs)], o.run.Value, o.run.Output, want.value, want.output)
+			}
+		case chaosPanic:
+			wantPanics++
+			if o.code != http.StatusInternalServerError || o.errb.Kind != KindPanic || o.errb.Stage != "compile" {
+				t.Errorf("req-%d (panic): status %d body %+v", i, o.code, o.errb)
+			}
+		case chaosError:
+			if o.code != http.StatusUnprocessableEntity || o.errb.Kind != KindProgram {
+				t.Errorf("req-%d (error): status %d body %+v", i, o.code, o.errb)
+			}
+		case chaosDeadline, chaosSlowStage:
+			if o.code != http.StatusGatewayTimeout || o.errb.Kind != KindDeadline {
+				t.Errorf("req-%d (deadline): status %d body %+v", i, o.code, o.errb)
+			}
+		}
+	}
+
+	// Containment accounting: exactly the injected panics faulted, the
+	// process survived all of them, and nothing is left in flight.
+	h := srv.health()
+	if h.Faulted != uint64(wantPanics) {
+		t.Errorf("faulted = %d, want %d", h.Faulted, wantPanics)
+	}
+	if h.Served != N {
+		t.Errorf("served = %d, want %d", h.Served, N)
+	}
+	if h.InFlight != 0 || h.Queued != 0 {
+		t.Errorf("in_flight=%d queued=%d after storm", h.InFlight, h.Queued)
+	}
+
+	// The server still serves cleanly after the storm.
+	code, _, data := post(t, ts, RunRequest{Source: testProg})
+	if code != http.StatusOK {
+		t.Fatalf("post-storm request: status %d: %s", code, data)
+	}
+	if got := decodeRun(t, data); got.Value != expect[opt.Base].value {
+		t.Errorf("post-storm value = %q", got.Value)
+	}
+}
+
+// TestDrainCompletesEveryAdmittedRequest: a drain beginning with
+// requests both running and queued rejects only NEW arrivals; every
+// request already past admission completes with a full result.
+func TestDrainCompletesEveryAdmittedRequest(t *testing.T) {
+	const workers, queued = 4, 4
+	const N = workers + queued
+
+	inj := pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageHarness, Program: "drain",
+		Action: pipeline.FaultSleep, Delay: 200 * time.Millisecond,
+	})
+	defer pipeline.ArmFaults(inj)()
+
+	srv := New(Config{MaxConcurrent: workers, QueueDepth: queued})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	want := oneShot(t, testProg, opt.Base)
+
+	var wg sync.WaitGroup
+	codes := make([]int, N)
+	values := make([]string, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, data := post(t, ts, RunRequest{Source: testProg, Label: "drain"})
+			codes[i] = code
+			if code == http.StatusOK {
+				values[i] = decodeRun(t, data).Value
+			}
+		}(i)
+	}
+
+	// Wait until the server is saturated (all slots busy, the rest
+	// queued), then drain mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.InFlight() < workers || srv.health().Queued < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never saturated: inflight=%d queued=%d", srv.InFlight(), srv.health().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.BeginDrain()
+
+	// New arrivals are refused immediately...
+	code, _, data := post(t, ts, RunRequest{Source: testProg})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain arrival: status %d: %s", code, data)
+	}
+	if eb := decodeErr(t, data); eb.Kind != KindDraining {
+		t.Errorf("post-drain kind = %q", eb.Kind)
+	}
+
+	// ...while every admitted request — running or queued — completes.
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if codes[i] != http.StatusOK || values[i] != want.Value {
+			t.Errorf("admitted request %d dropped by drain: status %d value %q", i, codes[i], values[i])
+		}
+	}
+	if fl := srv.InFlight(); fl != 0 {
+		t.Errorf("in-flight after drain = %d", fl)
+	}
+}
