@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"selspec/internal/bench"
+	"selspec/internal/obs"
+	"selspec/internal/pipeline"
 	"selspec/internal/specialize"
 )
 
@@ -52,6 +54,7 @@ func run() error {
 		steplimit = flag.Uint64("steplimit", 0, "per-cell interpreter step budget (0 = unlimited)")
 		depth     = flag.Int("depthlimit", 0, "per-cell call-depth limit (0 = interpreter default, negative = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget, e.g. 30s (0 = none)")
+		trace     = flag.Bool("trace", false, "print per-stage span summaries (count, failures, wall time) to stderr at exit")
 	)
 	flag.Parse()
 
@@ -82,6 +85,26 @@ func run() error {
 		DepthLimit: *depth,
 		Timeout:    *timeout,
 		Context:    ctx,
+	}
+
+	// -json runs carry the grid's counter snapshot in the trajectory's
+	// metrics block; -trace aggregates every Guard boundary into the
+	// per-stage summary printed at exit. Either arms the pipeline
+	// observer; neither perturbs the measured cells beyond atomic bumps.
+	var tr *obs.Tracer
+	if *jsonOut {
+		ho.Metrics = obs.NewRegistry()
+	}
+	if *trace {
+		tr = obs.NewTracer(0)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "paperbench: per-stage span summary")
+			tr.WriteSummary(os.Stderr)
+		}()
+	}
+	if ho.Metrics != nil || tr != nil {
+		restore := pipeline.SetObserver(pipeline.NewObserver(ho.Metrics, tr))
+		defer restore()
 	}
 
 	if *exts {

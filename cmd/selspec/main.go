@@ -35,6 +35,7 @@ import (
 	"selspec/internal/driver"
 	"selspec/internal/interp"
 	"selspec/internal/ir"
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
 	"selspec/internal/profile"
@@ -71,9 +72,22 @@ func run() error {
 		stepLimit  = flag.Uint64("step-limit", 0, "abort after this many interpreter steps (0 = unlimited)")
 		depthLimit = flag.Int("depth-limit", 0, "abort beyond this call depth (0 = default limit, negative = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "abort after this wall-clock duration, e.g. 30s (0 = none)")
-		traceDisp  = flag.Bool("trace", false, "trace every dynamic dispatch decision to stderr")
+		traceDisp  = flag.Bool("trace", false, "trace every dynamic dispatch decision and print a per-stage span summary to stderr")
 	)
 	flag.Parse()
+
+	// -trace also times every pipeline stage this invocation runs
+	// (parse, lower, profile, specialize, compile, interp) and prints
+	// the aggregated span summary on the way out.
+	if *traceDisp {
+		tr := obs.NewTracer(0)
+		restore := pipeline.SetObserver(pipeline.NewObserver(nil, tr))
+		defer restore()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "selspec: per-stage span summary")
+			tr.WriteSummary(os.Stderr)
+		}()
+	}
 
 	cfg, err := opt.ParseConfig(*configName)
 	if err != nil {
@@ -160,7 +174,10 @@ func run() error {
 				return fmt.Errorf("training run: %w", err)
 			}
 		}
-		res := specialize.Run(p.Prog, cg, specialize.Params{Threshold: *threshold})
+		res, err := pipeline.Specialize(label, p.Prog, cg, specialize.Params{Threshold: *threshold})
+		if err != nil {
+			return err
+		}
 		oo.Specializations = res.Specializations
 		if *stats {
 			fmt.Fprintf(os.Stderr, "specialized %d methods (+%d versions, max %d, avg %.2f)\n",

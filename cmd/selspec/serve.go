@@ -11,11 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"selspec/internal/obs"
 	"selspec/internal/pipeline"
 	"selspec/internal/server"
 )
@@ -42,6 +45,8 @@ func runServe(args []string) error {
 		breakerCool = fs.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit rejects a crashing program")
 		chaosP      = fs.Float64("chaos", 0, "TESTING: per-request probability of a seeded injected fault (panic or slow stage)")
 		chaosSeed   = fs.Int64("chaos-seed", 1, "TESTING: PRNG seed for -chaos, for reproducible chaos runs")
+		metricsAddr = fs.String("metrics-addr", "", "additionally serve /metrics on this separate ops address (\"\" = main listener only)")
+		pprofOn     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr listener")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +64,17 @@ func runServe(args []string) error {
 			*chaosP, *chaosSeed)
 	}
 
+	if *pprofOn && *metricsAddr == "" {
+		return fmt.Errorf("serve: -pprof requires -metrics-addr")
+	}
+
+	// Observability is always on in service mode: the registry costs
+	// nothing until scraped, and every Guard boundary feeds the
+	// per-stage histograms via the armed pipeline observer.
+	reg := obs.NewRegistry()
+	restore := pipeline.SetObserver(pipeline.NewObserver(reg, nil))
+	defer restore()
+
 	srv := server.New(server.Config{
 		MaxConcurrent:    *maxConc,
 		QueueDepth:       *queueDepth,
@@ -69,7 +85,16 @@ func runServe(args []string) error {
 		DrainTimeout:     *drainT,
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
+		Metrics:          reg,
 	})
+
+	if *metricsAddr != "" {
+		stopOps, err := serveOps(*metricsAddr, reg, *pprofOn)
+		if err != nil {
+			return fmt.Errorf("serve: metrics listener: %w", err)
+		}
+		defer stopOps()
+	}
 	srv.OnListen = func(a net.Addr) {
 		fmt.Fprintf(os.Stderr, "selspec serve: listening on %s\n", a)
 		if serveListenHook != nil {
@@ -84,4 +109,35 @@ func runServe(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "selspec serve: drained cleanly")
 	return nil
+}
+
+// serveOps binds a separate operations listener carrying /metrics (and,
+// when enabled, /debug/pprof/). It lives outside the main server's
+// drain lifecycle on purpose: scrapes and profiles must keep working
+// while the service winds down, and only stop when the process exits.
+func serveOps(addr string, reg *obs.Registry, withPprof bool) (stop func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "selspec serve: metrics on http://%s/metrics", ln.Addr())
+	if withPprof {
+		fmt.Fprintf(os.Stderr, " (pprof on /debug/pprof/)")
+	}
+	fmt.Fprintln(os.Stderr)
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	return func() { _ = hs.Close() }, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"selspec/internal/driver"
 	"selspec/internal/interp"
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
 	"selspec/internal/programs"
@@ -63,6 +64,10 @@ type Options struct {
 	// wind-down (cells fail with a cancellation error, the report and
 	// failure summary still render) instead of a mid-write kill.
 	Context context.Context
+	// Metrics, when non-nil, collects the grid's dispatch/interpreter/
+	// specializer counters; RunSuite snapshots them into Suite.Metrics
+	// for the JSON trajectory's metrics block.
+	Metrics *obs.Registry
 }
 
 // Fault injection for degradation tests goes through the pipeline
@@ -80,6 +85,7 @@ func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map
 		DepthLimit: ho.DepthLimit,
 		Timeout:    ho.Timeout,
 		Context:    ho.Context,
+		Metrics:    ho.Metrics,
 	}
 	return ro
 }
@@ -196,6 +202,10 @@ type Suite struct {
 	Results  map[string]map[opt.Config]*Result
 	Names    []string
 	Failures []Failure
+	// Metrics is the name-sorted counter snapshot taken at the end of
+	// RunSuite when Options.Metrics was set; nil otherwise. It feeds the
+	// JSON trajectory's metrics block.
+	Metrics []JSONMetric
 }
 
 // Failed reports whether any benchmark or cell failed.
@@ -296,6 +306,7 @@ func RunSuite(ho Options) (*Suite, error) {
 		}
 		s.Results[benches[cl.bench].Name][cfgs[cl.cfg]] = results[i]
 	}
+	s.Metrics = MetricRows(ho.Metrics)
 	return s, nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 )
 
@@ -25,16 +27,42 @@ type JSONResult struct {
 	IRNodes           int    `json:"ir_nodes"`
 }
 
+// JSONMetric is one observability counter in the trajectory's metrics
+// block: a (series name, cumulative value) pair from the run's
+// obs.Registry snapshot, name-sorted for deterministic diffs.
+type JSONMetric struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// MetricRows converts a registry's counter snapshot into name-sorted
+// trajectory rows. A nil registry yields nil.
+func MetricRows(r *obs.Registry) []JSONMetric {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	rows := make([]JSONMetric, 0, len(snap.Counters))
+	for name, v := range snap.Counters {
+		rows = append(rows, JSONMetric{Name: name, Value: v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
 // JSONTrajectory is the top-level shape of BENCH_paperbench.json.
 // Failures lists the contained per-cell faults; a failed cell has an
-// entry here and no row in Results. The array is always present (empty
-// on a clean run) so consumers can diff on it unconditionally.
+// entry here and no row in Results. Metrics holds the run's counter
+// snapshot when the harness ran with a registry. All three arrays are
+// always present (empty on a clean or unobserved run) so consumers can
+// diff on them unconditionally.
 type JSONTrajectory struct {
 	SuiteWallNS int64        `json:"suite_wall_ns"` // end-to-end RunSuite wall time
 	Workers     int          `json:"workers"`       // GOMAXPROCS during the run
 	Quick       bool         `json:"quick"`
 	Results     []JSONResult `json:"results"`
 	Failures    []Failure    `json:"failures"`
+	Metrics     []JSONMetric `json:"metrics"`
 }
 
 // WriteJSON emits the machine-readable perf trajectory for the suite,
@@ -45,7 +73,8 @@ func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool) erro
 		SuiteWallNS: suiteWall.Nanoseconds(),
 		Workers:     runtime.GOMAXPROCS(0),
 		Quick:       quick,
-		Failures:    append([]Failure{}, s.Failures...), // non-null even when empty
+		Failures:    append([]Failure{}, s.Failures...),    // non-null even when empty
+		Metrics:     append([]JSONMetric{}, s.Metrics...), // likewise
 	}
 	for _, name := range s.Names {
 		for _, cfg := range opt.Configs() {

@@ -4,11 +4,38 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
+	"selspec/internal/obs"
 	"selspec/internal/opt"
+	"selspec/internal/specialize"
 )
+
+// observedCache backs observedSuite the way cachedSuite backs
+// quickSuite: the grid is expensive, the JSON checks are not.
+var observedCache *Suite
+
+// observedSuite runs the quick grid with a live metrics registry, so
+// the trajectory's metrics block is populated.
+func observedSuite(t *testing.T) *Suite {
+	t.Helper()
+	if observedCache != nil {
+		return observedCache
+	}
+	s, err := RunSuite(Options{
+		Quick:      true,
+		StepLimit:  500_000_000,
+		SpecParams: specialize.Params{Threshold: specialize.DefaultThreshold},
+		Metrics:    obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observedCache = s
+	return s
+}
 
 func configByName(t *testing.T, name string) opt.Config {
 	t.Helper()
@@ -34,6 +61,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	}{
 		{"clean", quickSuite(t)},
 		{"poisoned", poisonedSuite(t)},
+		{"observed", observedSuite(t)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var first bytes.Buffer
@@ -51,8 +79,34 @@ func TestJSONRoundTrip(t *testing.T) {
 			if !tr.Quick {
 				t.Error("quick flag lost")
 			}
-			if tr.Results == nil || tr.Failures == nil {
-				t.Fatal("results/failures decoded as null")
+			if tr.Results == nil || tr.Failures == nil || tr.Metrics == nil {
+				t.Fatal("results/failures/metrics decoded as null")
+			}
+			if tc.name == "observed" {
+				if len(tr.Metrics) == 0 {
+					t.Fatal("observed run has an empty metrics block")
+				}
+				if !sort.SliceIsSorted(tr.Metrics, func(i, j int) bool {
+					return tr.Metrics[i].Name < tr.Metrics[j].Name
+				}) {
+					t.Error("metrics block is not name-sorted")
+				}
+				found := map[string]uint64{}
+				for _, m := range tr.Metrics {
+					found[m.Name] = m.Value
+				}
+				for _, name := range []string{
+					"selspec_interp_sends_total",
+					"selspec_interp_steps_total",
+					"selspec_dispatch_pic_hits_total",
+					"selspec_dispatch_gf_cache_hits_total",
+				} {
+					if found[name] == 0 {
+						t.Errorf("metrics block missing or zero %s", name)
+					}
+				}
+			} else if len(tr.Metrics) != 0 {
+				t.Errorf("unobserved run has metrics: %+v", tr.Metrics)
 			}
 			if tc.name == "poisoned" {
 				if len(tr.Failures) != 1 || tr.Failures[0].Benchmark != "InstSched" ||

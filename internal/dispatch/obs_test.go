@@ -1,0 +1,210 @@
+package dispatch
+
+import (
+	"sync"
+	"testing"
+
+	"selspec/internal/hier"
+	"selspec/internal/ir"
+	"selspec/internal/obs"
+)
+
+// TestPICMetricsExactCounts drives scripted lookup sequences through an
+// instrumented PIC and checks the registry counters land on exactly the
+// hit/miss/promotion totals the sequence implies. The cases cover the
+// three counter paths: front-entry hits, behind-front hits (which also
+// count a move-to-front promotion), and misses.
+func TestPICMetricsExactCounts(t *testing.T) {
+	h := buildHier(t)
+	a, b, c := cls(t, h, "A"), cls(t, h, "B"), cls(t, h, "C")
+	va, vb := &ir.Version{}, &ir.Version{}
+
+	// seed installs A then B, leaving B at the BACK (Add appends; only
+	// hits reorder), so the first B lookup is a behind-front hit.
+	seed := func(p *PIC) {
+		p.Add([]*hier.Class{a}, Target{Version: va})
+		p.Add([]*hier.Class{b}, Target{Version: vb})
+	}
+
+	cases := []struct {
+		name                     string
+		lookups                  []*hier.Class // receiver per lookup, in order
+		hits, misses, promotions uint64
+	}{
+		{
+			name:    "monomorphic front hits",
+			lookups: []*hier.Class{a, a, a, a},
+			hits:    4,
+		},
+		{
+			name: "behind-front hit promotes once",
+			// First b: behind-front hit + promotion (order becomes b,a).
+			// Second b: front hit. a: now behind-front, promoting again.
+			lookups:    []*hier.Class{b, b, a},
+			hits:       3,
+			promotions: 2,
+		},
+		{
+			name:    "uncached class misses every time",
+			lookups: []*hier.Class{c, c, c},
+			misses:  3,
+		},
+		{
+			name: "mixed phase change",
+			// a hit; c miss; b behind-front hit (promotes, order b,a);
+			// a behind-front hit (promotes, order a,b); a front hit.
+			lookups:    []*hier.Class{a, c, b, a, a},
+			hits:       4,
+			misses:     1,
+			promotions: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			p := NewPIC(4)
+			p.M = NewPICMetrics(reg)
+			seed(p)
+			for _, recv := range tc.lookups {
+				p.Lookup([]*hier.Class{recv})
+			}
+			snap := reg.Snapshot()
+			got := [3]uint64{
+				snap.Counters["selspec_dispatch_pic_hits_total"],
+				snap.Counters["selspec_dispatch_pic_misses_total"],
+				snap.Counters["selspec_dispatch_pic_promotions_total"],
+			}
+			want := [3]uint64{tc.hits, tc.misses, tc.promotions}
+			if got != want {
+				t.Errorf("counters (hits,misses,promotions) = %v, want %v", got, want)
+			}
+			// The registry mirrors must agree with the PIC's own tallies.
+			if p.Hits != tc.hits || p.Misses != tc.misses {
+				t.Errorf("PIC fields hits=%d misses=%d, want %d/%d", p.Hits, p.Misses, tc.hits, tc.misses)
+			}
+		})
+	}
+}
+
+// TestPICMetricsConcurrentSnapshot bumps shared counters from many
+// PICs (one per goroutine — a PIC itself is single-threaded, the
+// counters are the shared part) while other goroutines continuously
+// Snapshot and WritePrometheus the registry. Run under -race this
+// proves scrapes never tear or block the dispatch path; the final
+// totals must still be exact.
+func TestPICMetricsConcurrentSnapshot(t *testing.T) {
+	h := buildHier(t)
+	a, b := cls(t, h, "A"), cls(t, h, "B")
+	va := &ir.Version{}
+
+	reg := obs.NewRegistry()
+	m := NewPICMetrics(reg)
+
+	const workers = 8
+	const rounds = 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				hits := snap.Counters["selspec_dispatch_pic_hits_total"]
+				misses := snap.Counters["selspec_dispatch_pic_misses_total"]
+				if hits > workers*rounds || misses > workers*rounds {
+					t.Errorf("snapshot overshot: hits=%d misses=%d", hits, misses)
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			p := NewPIC(4)
+			p.M = m
+			p.Add([]*hier.Class{a}, Target{Version: va})
+			for i := 0; i < rounds; i++ {
+				if i%2 == 0 {
+					p.Lookup([]*hier.Class{a}) // hit
+				} else {
+					p.Lookup([]*hier.Class{b}) // miss (never added)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := reg.Snapshot()
+	wantHits := uint64(workers * rounds / 2)
+	wantMisses := uint64(workers * rounds / 2)
+	if snap.Counters["selspec_dispatch_pic_hits_total"] != wantHits {
+		t.Errorf("hits = %d, want %d", snap.Counters["selspec_dispatch_pic_hits_total"], wantHits)
+	}
+	if snap.Counters["selspec_dispatch_pic_misses_total"] != wantMisses {
+		t.Errorf("misses = %d, want %d", snap.Counters["selspec_dispatch_pic_misses_total"], wantMisses)
+	}
+	if snap.Counters["selspec_dispatch_pic_promotions_total"] != 0 {
+		t.Errorf("promotions = %d, want 0 (no multi-entry reordering in this workload)",
+			snap.Counters["selspec_dispatch_pic_promotions_total"])
+	}
+}
+
+// TestGFCacheMetricsExactCounts pins the hierarchy-level dispatch-cache
+// counters: a repeated Lookup of the same (gf, classes) tuple must miss
+// once and hit thereafter, and attaching metrics mid-stream must not
+// disturb results.
+func TestGFCacheMetricsExactCounts(t *testing.T) {
+	h := buildHier(t)
+	a, b := cls(t, h, "A"), cls(t, h, "B")
+
+	reg := obs.NewRegistry()
+	h.SetLookupMetrics(hier.NewLookupMetrics(reg))
+	gf, ok := h.GF("m", 1)
+	if !ok {
+		t.Fatal("no GF m/1")
+	}
+
+	seq := []*hier.Class{
+		a, // miss (cold)
+		a, // hit
+		a, // hit
+		b, // miss (new tuple)
+		b, // hit
+	}
+	for i, recv := range seq {
+		if _, derr := h.Lookup(gf, recv); derr != nil {
+			t.Fatalf("step %d: %v", i, derr)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["selspec_dispatch_gf_cache_hits_total"]; got != 3 {
+		t.Errorf("gf cache hits = %d, want 3", got)
+	}
+	if got := snap.Counters["selspec_dispatch_gf_cache_misses_total"]; got != 2 {
+		t.Errorf("gf cache misses = %d, want 2", got)
+	}
+
+	// Detach: further lookups must leave the counters untouched.
+	h.SetLookupMetrics(nil)
+	for i := 0; i < 10; i++ {
+		if _, derr := h.Lookup(gf, a); derr != nil {
+			t.Fatal(derr)
+		}
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["selspec_dispatch_gf_cache_hits_total"]; got != 3 {
+		t.Errorf("gf cache hits after detach = %d, want still 3", got)
+	}
+}

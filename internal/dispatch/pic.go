@@ -8,6 +8,7 @@ package dispatch
 import (
 	"selspec/internal/hier"
 	"selspec/internal/ir"
+	"selspec/internal/obs"
 )
 
 // Target is the result of a dispatch: the most-specific method and the
@@ -27,6 +28,30 @@ type picEntry struct {
 	target  Target
 }
 
+// PICMetrics is the observability hook of a PIC: shared counters
+// (typically one set for every PIC of an interpreter, registered in an
+// obs.Registry) bumped on each lookup. The zero value — all-nil
+// counters — is the disabled mode and adds only nil checks to the hit
+// path; see the overhead guard in bench_test.go.
+type PICMetrics struct {
+	Hits       *obs.Counter
+	Misses     *obs.Counter
+	Promotions *obs.Counter // hits behind the front entry moved to front
+}
+
+// NewPICMetrics registers the shared PIC counters (zero value when the
+// registry is nil).
+func NewPICMetrics(r *obs.Registry) PICMetrics {
+	if r == nil {
+		return PICMetrics{}
+	}
+	return PICMetrics{
+		Hits:       r.Counter("selspec_dispatch_pic_hits_total"),
+		Misses:     r.Counter("selspec_dispatch_pic_misses_total"),
+		Promotions: r.Counter("selspec_dispatch_pic_promotions_total"),
+	}
+}
+
 // PIC is a call-site-specific polymorphic inline cache: an association
 // list mapping actual argument class tuples to dispatch targets. The
 // key covers every argument position because specialized versions may
@@ -37,6 +62,11 @@ type PIC struct {
 
 	Hits   uint64
 	Misses uint64
+
+	// M carries the optional shared obs counters. A value (not a
+	// pointer) so the zero PIC needs no extra allocation and the
+	// disabled cost is a nil check per counter.
+	M PICMetrics
 }
 
 // NewPIC returns a PIC bounded to max entries (0 = DefaultPICSize).
@@ -79,6 +109,7 @@ func (e *picEntry) match(classes []*hier.Class) bool {
 func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
 	if len(p.entries) > 0 && p.entries[0].match(classes) {
 		p.Hits++
+		p.M.Hits.Inc()
 		return p.entries[0].target, true
 	}
 	for i := 1; i < len(p.entries); i++ {
@@ -87,10 +118,13 @@ func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
 			copy(p.entries[1:i+1], p.entries[:i])
 			p.entries[0] = e
 			p.Hits++
+			p.M.Hits.Inc()
+			p.M.Promotions.Inc()
 			return e.target, true
 		}
 	}
 	p.Misses++
+	p.M.Misses.Inc()
 	return Target{}, false
 }
 

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"time"
 
+	"selspec/internal/hier"
 	"selspec/internal/interp"
 	"selspec/internal/ir"
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
 	"selspec/internal/profile"
@@ -78,6 +80,10 @@ type RunOptions struct {
 	// Context, when non-nil, cancels the run when it is done; composed
 	// with Timeout when both are set.
 	Context context.Context
+	// Metrics, when non-nil, receives the run's dispatch and
+	// interpreter counters (PIC hits, GF-cache hits, sends, steps, ...).
+	// Registration is idempotent, so many runs may share one registry.
+	Metrics *obs.Registry
 }
 
 // Result reports one execution.
@@ -107,6 +113,12 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	in.Profile = ro.Profile
 	in.StepLimit = ro.StepLimit
 	in.DepthLimit = ro.DepthLimit
+	if ro.Metrics != nil {
+		in.Obs = interp.NewMetrics(ro.Metrics)
+		if c.Prog.H != nil {
+			c.Prog.H.SetLookupMetrics(hier.NewLookupMetrics(ro.Metrics))
+		}
+	}
 
 	ctx := ro.Context
 	if ro.Timeout > 0 {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"selspec/internal/bits"
 	"selspec/internal/lang"
@@ -213,6 +214,11 @@ type Hierarchy struct {
 	applicableMu    sync.Mutex
 	applicableMemo  map[*Method]Tuple
 	applicableExact map[*Method]bool
+
+	// lookupMetrics, when set, observes the gfCache hit/miss behavior
+	// of Lookup (see obs.go). Atomic so observation can be attached
+	// while concurrent lookups are in flight.
+	lookupMetrics atomic.Pointer[LookupMetrics]
 }
 
 // New returns a hierarchy pre-populated with the built-in classes.
@@ -432,8 +438,15 @@ func (h *Hierarchy) Lookup(g *GF, classes ...*Class) (*Method, *DispatchError) {
 	if cache == nil { // pre-Freeze: uncached
 		return h.lookupSlow(g, classes)
 	}
+	lm := h.lookupMetrics.Load()
 	if r, ok := cache.get(classes); ok {
+		if lm != nil {
+			lm.CacheHits.Inc()
+		}
 		return r.m, r.err
+	}
+	if lm != nil {
+		lm.CacheMisses.Inc()
 	}
 	m, err := h.lookupSlow(g, classes)
 	cache.put(classes, lookupResult{m: m, err: err})

@@ -1,0 +1,35 @@
+package hier
+
+import (
+	"selspec/internal/obs"
+)
+
+// LookupMetrics observes the memoized dispatch cache behind
+// Hierarchy.Lookup: how many lookups were answered by a gfCache hit
+// versus falling through to the full multi-method lookup. The counters
+// are shared across every GF of the hierarchy.
+type LookupMetrics struct {
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+}
+
+// NewLookupMetrics registers the lookup-cache counters. Returns nil on
+// the nil registry — the disabled mode, costing Lookup one atomic
+// pointer load and a nil check.
+func NewLookupMetrics(r *obs.Registry) *LookupMetrics {
+	if r == nil {
+		return nil
+	}
+	return &LookupMetrics{
+		CacheHits:   r.Counter("selspec_dispatch_gf_cache_hits_total"),
+		CacheMisses: r.Counter("selspec_dispatch_gf_cache_misses_total"),
+	}
+}
+
+// SetLookupMetrics attaches (or, with nil, detaches) cache observation.
+// Safe to call at any time, including while other goroutines Lookup
+// concurrently: the pointer swap is atomic and the counters themselves
+// are atomic.
+func (h *Hierarchy) SetLookupMetrics(m *LookupMetrics) {
+	h.lookupMetrics.Store(m)
+}

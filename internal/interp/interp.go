@@ -142,6 +142,11 @@ type Interp struct {
 	// A debugging aid; enormous on real runs, so keep inputs small.
 	Trace io.Writer
 
+	// Obs, when non-nil, feeds the shared observability counters: PIC
+	// and table behavior live, send/step totals flushed when Run ends.
+	// Nil (the default) costs the hot path a few nil checks.
+	Obs *Metrics
+
 	Globals      []Value
 	globalsReady []bool
 	steps        uint64
@@ -231,6 +236,7 @@ func (in *Interp) leave() { in.depth-- }
 
 // Run initializes globals and invokes main(); it returns main's value.
 func (in *Interp) Run() (v Value, err error) {
+	defer in.Obs.flushRun(in)
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*RuntimeError); ok {
@@ -348,6 +354,9 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 		pic := in.pics[site.ID]
 		if pic == nil {
 			pic = dispatch.NewPIC(0)
+			if in.Obs != nil {
+				pic.M = in.Obs.PIC
+			}
 			in.pics[site.ID] = pic
 		}
 		if t, ok := pic.Lookup(classes); ok {
@@ -388,6 +397,9 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 }
 
 func (in *Interp) tableLookup(site *ir.CallSite, classes []*hier.Class) *hier.Method {
+	if in.Obs != nil {
+		in.Obs.TableLookups.Inc()
+	}
 	g := site.GF
 	if len(g.DispatchedPositions()) == 0 {
 		if len(g.Methods) == 1 {

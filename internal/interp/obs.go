@@ -1,0 +1,62 @@
+package interp
+
+import (
+	"selspec/internal/dispatch"
+	"selspec/internal/obs"
+)
+
+// Metrics is the interpreter's observability hook: shared counters for
+// the runtime events the paper's figures are built from — sends
+// executed (dynamic binds), statically-bound calls, run-time version
+// selections, interpreter steps — plus the dispatch-layer counters the
+// interpreter's PICs and multi-method tables feed live.
+//
+// The send/step totals are flushed from Interp.Counters when Run
+// finishes (one Add per counter per run), so an enabled registry adds
+// zero work to the per-send hot path; only the PIC and table counters
+// tick live, because call-site-level cache behavior is what /metrics
+// consumers watch converge. A nil *Metrics (the default) disables
+// everything.
+type Metrics struct {
+	Sends          *obs.Counter // dynamically-dispatched sends executed
+	StaticCalls    *obs.Counter // statically-bound calls executed
+	VersionSelects *obs.Counter // run-time specialized-version selections
+	MethodEntries  *obs.Counter
+	Steps          *obs.Counter
+	TableLookups   *obs.Counter // MM-table dispatches (MechTables fallback path)
+
+	PIC dispatch.PICMetrics // shared by every PIC this interpreter creates
+}
+
+// NewMetrics registers the interpreter + dispatch counters in r.
+// Idempotent across calls with the same registry (every run of a
+// service shares one set of series). Returns nil on the nil registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Sends:          r.Counter("selspec_interp_sends_total"),
+		StaticCalls:    r.Counter("selspec_interp_static_calls_total"),
+		VersionSelects: r.Counter("selspec_interp_version_selects_total"),
+		MethodEntries:  r.Counter("selspec_interp_method_entries_total"),
+		Steps:          r.Counter("selspec_interp_steps_total"),
+		TableLookups:   r.Counter("selspec_dispatch_table_lookups_total"),
+		PIC:            dispatch.NewPICMetrics(r),
+	}
+}
+
+// flushRun accumulates one finished run's counters. Called from Run's
+// exit path (success or contained error), never concurrently for one
+// Interp.
+func (m *Metrics) flushRun(in *Interp) {
+	if m == nil {
+		return
+	}
+	c := in.Counters
+	m.Sends.Add(c.Dispatches)
+	m.StaticCalls.Add(c.StaticCalls)
+	m.VersionSelects.Add(c.VersionSelects)
+	m.MethodEntries.Add(c.MethodEntries)
+	m.Steps.Add(in.steps)
+}

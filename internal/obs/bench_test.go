@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// The acceptance contract for the whole observability layer: the
+// disabled (nil) instruments must cost nothing measurable and never
+// allocate, because they sit on the dispatch hit path of every
+// interpreter run. TestDisabledPathAllocs enforces the alloc half
+// mechanically; the benchmarks let `go test -bench` quantify the
+// nil-check cost next to the enabled atomic cost.
+
+func TestDisabledPathAllocs(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(1)
+		tr.Observe("x", "", 0, false)
+	}); n != 0 {
+		t.Errorf("disabled instruments allocate %v allocs/op, want 0", n)
+	}
+}
+
+func TestEnabledCounterAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h_seconds", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Errorf("enabled instruments allocate %v allocs/op on the bump path, want 0", n)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("c_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

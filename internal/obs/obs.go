@@ -1,0 +1,358 @@
+// Package obs is the zero-dependency observability core: atomic
+// counters, bounded histograms, a Registry that snapshots and renders
+// them in the Prometheus text exposition format, and a span-style
+// stage tracer (trace.go).
+//
+// The design contract, relied on by every instrumented hot path
+// (internal/hier's dispatch cache, internal/dispatch's PICs, the
+// interpreter, the pipeline guard):
+//
+//   - Disabled is free. A nil *Registry hands out nil *Counter and
+//     *Histogram instruments, and every instrument method is nil-safe:
+//     the hot path pays one predictable nil check, no allocation, no
+//     atomic. There are no build tags and no global switches — whether
+//     a component is observed is decided by whoever constructs it
+//     (see DESIGN.md §11).
+//   - Enabled is allocation-free. Instruments are registered once
+//     (Registry methods are idempotent per name+labels) and bumped with
+//     plain atomic adds; no map lookups, locks or allocation on the
+//     event path.
+//   - Concurrent. Instruments may be bumped from any number of
+//     goroutines while others call Snapshot, Reset or WritePrometheus.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. stage="compile"). Instruments
+// with the same name but different labels are distinct time series
+// under one Prometheus metric family.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing atomic counter. The nil
+// counter is valid and discards every operation — the disabled fast
+// path.
+type Counter struct {
+	id idKey
+	v  atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add accumulates n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on the nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefaultSecondsBuckets are the histogram bounds used for stage
+// latencies: 100µs up to 10s in roughly half-decade steps, covering
+// everything from a parse of a small program to a full Selective
+// profile+compile+measure cell.
+var DefaultSecondsBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// Histogram is a bounded histogram with fixed upper bounds, in the
+// Prometheus cumulative-bucket style. Like Counter, the nil histogram
+// discards observations.
+type Histogram struct {
+	id     idKey
+	bounds []float64       // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] = observations ≤ bounds[i]
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// idKey identifies one instrument: metric family name plus rendered
+// label pairs. Registration is keyed on it; the exposition writer
+// groups families by name.
+type idKey struct {
+	name   string
+	labels string // `k1="v1",k2="v2"` with keys sorted; "" for none
+}
+
+func (k idKey) series() string {
+	if k.labels == "" {
+		return k.name
+	}
+	return k.name + "{" + k.labels + "}"
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Registry owns a set of named instruments. The nil registry is the
+// disabled mode: it hands out nil instruments and snapshots empty.
+// Registration takes a lock; bumping registered instruments never
+// does.
+type Registry struct {
+	mu    sync.Mutex
+	cs    map[idKey]*Counter
+	hs    map[idKey]*Histogram
+	order []idKey // registration order, for stable family grouping
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cs: map[idKey]*Counter{}, hs: map[idKey]*Histogram{}}
+}
+
+// Counter returns the counter registered under name+labels, creating
+// it on first use. Idempotent: every caller asking for the same series
+// shares one counter. Returns nil (the free no-op instrument) on the
+// nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := idKey{name: name, labels: labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cs[id]; ok {
+		return c
+	}
+	c := &Counter{id: id}
+	r.cs[id] = c
+	r.order = append(r.order, id)
+	return c
+}
+
+// Histogram returns the histogram registered under name+labels with
+// the given upper bounds (nil bounds selects DefaultSecondsBuckets),
+// creating it on first use. Bounds are fixed at first registration.
+// Returns nil on the nil registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		bounds = DefaultSecondsBuckets
+	}
+	id := idKey{name: name, labels: labelString(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hs[id]; ok {
+		return h
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{id: id, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	r.hs[id] = h
+	r.order = append(r.order, id)
+	return h
+}
+
+// HistogramSnapshot is one histogram's state at Snapshot time.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // per-bucket (not cumulative); last is +Inf
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// keyed by series name (name or name{labels}). Counters and histograms
+// may be bumped concurrently; the snapshot is per-series consistent.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the current values. Safe to call at any time,
+// including on the nil registry (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Histograms: map[string]HistogramSnapshot{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, c := range r.cs {
+		s.Counters[id.series()] = c.Value()
+	}
+	for id, h := range r.hs {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[id.series()] = hs
+	}
+	return s
+}
+
+// Reset zeroes every registered instrument (the instruments stay
+// registered, so held pointers remain valid). No-op on nil.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cs {
+		c.v.Store(0)
+	}
+	for _, h := range r.hs {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.count.Store(0)
+	}
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (v0.0.4): one TYPE line per metric family, then
+// one line per series, families in registration order and series
+// sorted within a family. Deterministic for a fixed set of values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type family struct {
+		name string
+		kind string // "counter" | "histogram"
+		ids  []idKey
+	}
+	var fams []*family
+	byName := map[string]*family{}
+	for _, id := range r.order {
+		kind := "counter"
+		if _, ok := r.hs[id]; ok {
+			kind = "histogram"
+		}
+		f := byName[id.name]
+		if f == nil {
+			f = &family{name: id.name, kind: kind}
+			byName[id.name] = f
+			fams = append(fams, f)
+		}
+		f.ids = append(f.ids, id)
+	}
+	cs, hs := r.cs, r.hs
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		sort.Slice(f.ids, func(i, j int) bool { return f.ids[i].labels < f.ids[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, id := range f.ids {
+			if f.kind == "counter" {
+				if _, err := fmt.Fprintf(w, "%s %d\n", id.series(), cs[id].Value()); err != nil {
+					return err
+				}
+				continue
+			}
+			h := hs[id]
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if err := writeBucket(w, id, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if err := writeBucket(w, id, "+Inf", cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesSuffix(id, "_sum"), formatFloat(h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesSuffix(id, "_count"), h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeBucket(w io.Writer, id idKey, le string, cum uint64) error {
+	labels := fmt.Sprintf("le=%q", le)
+	if id.labels != "" {
+		labels = id.labels + "," + labels
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", id.name, labels, cum)
+	return err
+}
+
+func seriesSuffix(id idKey, suffix string) string {
+	return idKey{name: id.name + suffix, labels: id.labels}.series()
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

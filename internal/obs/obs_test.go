@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("selspec_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if again := r.Counter("selspec_test_total"); again != c {
+		t.Error("re-registration did not return the same counter")
+	}
+	if other := r.Counter("selspec_test_total", Label{"k", "v"}); other == c {
+		t.Error("labelled series aliased the unlabelled one")
+	}
+}
+
+func TestNilInstrumentsAreFreeNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y", nil)
+	if c != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	c.Inc()
+	c.Add(7)
+	h.Observe(1)
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments recorded values")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	r.Reset()
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	var tr *Tracer
+	tr.Observe("a", "", time.Second, false)
+	tr.Start("a", "")(true)
+	if tr.Summary() != nil || tr.Spans() != nil {
+		t.Error("nil tracer retained spans")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	wantCounts := []uint64{1, 2, 1, 1} // ≤0.1, ≤1, ≤10, +Inf
+	for i, w := range wantCounts {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueLandsInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" is inclusive in Prometheus
+	hs := r.Snapshot().Histograms["b"]
+	if hs.Counts[0] != 1 {
+		t.Errorf("v=bound landed in bucket %v, want first", hs.Counts)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", Label{"stage", "parse"})
+	c.Add(3)
+	h := r.Histogram("b_seconds", []float64{1})
+	h.Observe(0.5)
+
+	s := r.Snapshot()
+	if s.Counters[`a_total{stage="parse"}`] != 3 {
+		t.Errorf("snapshot counters = %v", s.Counters)
+	}
+	if s.Histograms["b_seconds"].Count != 1 {
+		t.Errorf("snapshot histograms = %v", s.Histograms)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("Reset left values behind")
+	}
+	c.Inc() // held pointers stay live after Reset
+	if r.Snapshot().Counters[`a_total{stage="parse"}`] != 1 {
+		t.Error("counter dead after Reset")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("selspec_hits_total", Label{"kind", "pic"}).Add(2)
+	r.Counter("selspec_hits_total", Label{"kind", "table"}).Add(1)
+	h := r.Histogram("selspec_stage_seconds", []float64{0.5, 1}, Label{"stage", "parse"})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE selspec_hits_total counter`,
+		`selspec_hits_total{kind="pic"} 2`,
+		`selspec_hits_total{kind="table"} 1`,
+		`# TYPE selspec_stage_seconds histogram`,
+		`selspec_stage_seconds_bucket{stage="parse",le="0.5"} 1`,
+		`selspec_stage_seconds_bucket{stage="parse",le="1"} 1`,
+		`selspec_stage_seconds_bucket{stage="parse",le="+Inf"} 2`,
+		`selspec_stage_seconds_sum{stage="parse"} 2.25`,
+		`selspec_stage_seconds_count{stage="parse"} 2`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestConcurrentBumpSnapshotWrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h_seconds", []float64{0.5})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	// Concurrent readers while writers run: values must be torn-free
+	// and the writer must not race (run under -race in CI).
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+		_ = r.WritePrometheus(&bytes.Buffer{})
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("c = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("h count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), 0.25*workers*perWorker; got != want {
+		t.Errorf("h sum = %v, want %v", got, want)
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Observe("parse", "a", 10*time.Millisecond, false)
+	tr.Observe("parse", "b", 30*time.Millisecond, true)
+	tr.Observe("compile", "a", 100*time.Millisecond, false)
+
+	sums := tr.Summary()
+	if len(sums) != 2 {
+		t.Fatalf("summary groups = %d", len(sums))
+	}
+	if sums[0].Name != "compile" { // sorted by descending total
+		t.Errorf("first group = %s", sums[0].Name)
+	}
+	p := sums[1]
+	if p.Count != 2 || p.Failed != 1 || p.Total != 40*time.Millisecond ||
+		p.Min != 10*time.Millisecond || p.Max != 30*time.Millisecond || p.Mean() != 20*time.Millisecond {
+		t.Errorf("parse summary = %+v", p)
+	}
+
+	var buf bytes.Buffer
+	tr.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "compile") || !strings.Contains(buf.String(), "parse") {
+		t.Errorf("summary table missing stages:\n%s", buf.String())
+	}
+}
+
+func TestTracerBoundKeepsAggregatesExact(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Observe("s", "", time.Millisecond, false)
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("retained spans = %d, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	if s := tr.Summary()[0]; s.Count != 5 || s.Total != 5*time.Millisecond {
+		t.Errorf("summary lost dropped spans: %+v", s)
+	}
+}
+
+func TestTracerStart(t *testing.T) {
+	tr := NewTracer(0)
+	done := tr.Start("stage", "prog")
+	done(true)
+	s := tr.Summary()
+	if len(s) != 1 || s[0].Count != 1 || s[0].Failed != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if sp := tr.Spans()[0]; sp.Detail != "prog" {
+		t.Errorf("span detail = %q", sp.Detail)
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed traced operation: a pipeline stage run, a
+// request, any timed unit of work.
+type Span struct {
+	Name   string // aggregation key (e.g. the stage name)
+	Detail string // free-form context (program/config); not aggregated on
+	D      time.Duration
+	Failed bool
+}
+
+// Tracer collects completed spans up to a bound and aggregates them
+// into per-name summaries. Like the Registry's instruments, the nil
+// tracer is valid and discards everything, so tracing costs one nil
+// check when off.
+//
+// Spans beyond the bound still feed the running summaries — only the
+// raw span log is bounded, so a long benchmark run cannot grow memory
+// without limit while its per-stage totals stay exact.
+type Tracer struct {
+	mu      sync.Mutex
+	bound   int
+	spans   []Span
+	dropped int
+	agg     map[string]*SpanSummary
+}
+
+// DefaultTracerBound is how many raw spans a NewTracer(0) keeps.
+const DefaultTracerBound = 4096
+
+// NewTracer returns a tracer keeping at most bound raw spans
+// (0 selects DefaultTracerBound).
+func NewTracer(bound int) *Tracer {
+	if bound <= 0 {
+		bound = DefaultTracerBound
+	}
+	return &Tracer{bound: bound, agg: map[string]*SpanSummary{}}
+}
+
+// Observe records one completed span. Nil-safe.
+func (t *Tracer) Observe(name, detail string, d time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) < t.bound {
+		t.spans = append(t.spans, Span{Name: name, Detail: detail, D: d, Failed: failed})
+	} else {
+		t.dropped++
+	}
+	s := t.agg[name]
+	if s == nil {
+		s = &SpanSummary{Name: name, Min: d, Max: d}
+		t.agg[name] = s
+	}
+	s.Count++
+	s.Total += d
+	if d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	if failed {
+		s.Failed++
+	}
+}
+
+// Start begins a span and returns the function that completes it.
+// Usage: defer t.Start("compile", label)(nil-error-check…) is awkward
+// for error capture, so the done function takes the failure flag:
+//
+//	done := t.Start("compile", label)
+//	…
+//	done(err != nil)
+//
+// On the nil tracer no clock is read and done is a cheap no-op.
+func (t *Tracer) Start(name, detail string) func(failed bool) {
+	if t == nil {
+		return func(bool) {}
+	}
+	start := time.Now()
+	return func(failed bool) { t.Observe(name, detail, time.Since(start), failed) }
+}
+
+// Spans returns a copy of the retained raw spans, in arrival order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped reports how many spans exceeded the raw-log bound (their
+// durations still count in the summaries).
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanSummary aggregates every span sharing one name.
+type SpanSummary struct {
+	Name   string
+	Count  int
+	Failed int
+	Total  time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Mean is the average span duration.
+func (s SpanSummary) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Summary returns the per-name aggregates sorted by descending total
+// time (the view `-trace` prints: where did the wall time go).
+func (t *Tracer) Summary() []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanSummary, 0, len(t.agg))
+	for _, s := range t.agg {
+		out = append(out, *s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteSummary renders the per-name aggregates as an aligned table.
+// Writes nothing when no spans were observed.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	sums := t.Summary()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s %7s %7s %12s %12s %12s %12s\n",
+		"stage", "count", "failed", "total", "mean", "min", "max")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-12s %7d %7d %12s %12s %12s %12s\n",
+			s.Name, s.Count, s.Failed,
+			s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond),
+			s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d raw spans beyond the %d-span log were aggregated only)\n", d, t.bound)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"selspec/internal/check"
 	"selspec/internal/hier"
@@ -110,24 +111,31 @@ func posOf(err error) lang.Pos {
 // delay the stage here, inside the recovery boundary, so injected
 // faults are contained exactly like organic ones.
 func Guard[T any](stage Stage, program, config string, fn func() (T, error)) (out T, err error) {
+	obsv := observing.Load()
+	var start time.Time
+	if obsv != nil {
+		start = time.Now()
+	}
 	defer func() {
 		r := recover()
-		if r == nil {
-			return
+		if r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", r)
+			}
+			var zero T
+			out = zero
+			err = &StageError{
+				Stage:   stage,
+				Program: program,
+				Config:  config,
+				Pos:     posOf(cause),
+				Err:     cause,
+				Stack:   debug.Stack(),
+			}
 		}
-		cause, ok := r.(error)
-		if !ok {
-			cause = fmt.Errorf("panic: %v", r)
-		}
-		var zero T
-		out = zero
-		err = &StageError{
-			Stage:   stage,
-			Program: program,
-			Config:  config,
-			Pos:     posOf(cause),
-			Err:     cause,
-			Stack:   debug.Stack(),
+		if obsv != nil {
+			obsv.observe(stage, program, config, time.Since(start), r != nil, err != nil)
 		}
 	}()
 	if ferr := inject(stage, program, config); ferr != nil {
@@ -177,18 +185,31 @@ func Load(label, src string) (*ir.Program, error) {
 // Compile runs the optimizing middle end inside the boundary. The
 // configuration is recorded on any contained fault.
 func Compile(label string, p *ir.Program, oo opt.Options) (*opt.Compiled, error) {
-	return Guard(StageCompile, label, oo.Config.String(), func() (*opt.Compiled, error) {
+	c, err := Guard(StageCompile, label, oo.Config.String(), func() (*opt.Compiled, error) {
 		return opt.Compile(p, oo)
 	})
+	if err == nil {
+		if o := observing.Load(); o != nil {
+			s := c.Stats()
+			o.observeCompile(s.StaticBound, s.InlinedCalls)
+		}
+	}
+	return c, err
 }
 
 // Specialize runs the selective specialization algorithm inside the
 // boundary (the algorithm itself returns no error; only a contained
 // panic can produce one).
 func Specialize(label string, p *ir.Program, cg *profile.CallGraph, params specialize.Params) (*specialize.Result, error) {
-	return Guard(StageSpecialize, label, opt.Selective.String(), func() (*specialize.Result, error) {
+	res, err := Guard(StageSpecialize, label, opt.Selective.String(), func() (*specialize.Result, error) {
 		return specialize.Run(p, cg, params), nil
 	})
+	if err == nil {
+		if o := observing.Load(); o != nil {
+			o.observeSpecialize(res.Stats)
+		}
+	}
+	return res, err
 }
 
 // RunInterp executes a prepared interpreter inside the boundary.

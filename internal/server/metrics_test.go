@@ -1,0 +1,292 @@
+package server
+
+// The /metrics suite is the acceptance test for the observability
+// layer's service surface: after a chaos storm the scraped counters
+// must match the fault plan exactly (contained panics, shed requests),
+// the scrape must cover every instrumented layer — dispatch caches,
+// interpreter, specializer, pipeline stages — and the endpoint must
+// keep answering while the server drains.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selspec/internal/obs"
+	"selspec/internal/pipeline"
+)
+
+// scrape GETs /metrics and parses the Prometheus text into a
+// series → value map (series names keep their label sets verbatim).
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("scrape: content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("scrape: unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("scrape: bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestMetricsChaosStormScrape arms the full observability stack —
+// registry on the server, pipeline observer at the Guard boundaries —
+// then runs a storm with a precise fault plan and checks the scraped
+// counters against it: exactly the injected compile panics appear in
+// both the server's contained-panic counter and the pipeline's
+// per-stage one, and every instrumented layer shows up in the scrape.
+func TestMetricsChaosStormScrape(t *testing.T) {
+	const N = 24
+	const wantPanics = 6 // every i%4==1 request below
+
+	reg := obs.NewRegistry()
+	defer pipeline.SetObserver(pipeline.NewObserver(reg, nil))()
+
+	label := func(i int) string { return fmt.Sprintf("mreq-%d", i) }
+	var rules []pipeline.FaultRule
+	for i := 0; i < N; i++ {
+		if i%4 == 1 {
+			rules = append(rules, pipeline.FaultRule{
+				Stage: pipeline.StageCompile, Program: label(i),
+				Action: pipeline.FaultPanic, Message: "metrics chaos panic",
+			})
+		}
+	}
+	defer pipeline.ArmFaults(pipeline.NewInjector(1, rules...))()
+
+	srv := New(Config{
+		MaxConcurrent:    4,
+		QueueDepth:       N, // no shedding in this phase: the plan is panics only
+		BreakerThreshold: N,
+		DefaultTimeout:   time.Minute,
+		Metrics:          reg,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := RunRequest{Label: label(i)}
+			if i%4 == 1 {
+				req.Source = fmt.Sprintf("-- metrics chaos %d\n%s", i, testProg)
+			} else {
+				req.Source = testProg
+				if i%4 == 3 {
+					req.Config = "Selective" // exercises profile + specialize + compile
+				}
+			}
+			codes[i], _, _ = post(t, ts, req)
+		}(i)
+	}
+	wg.Wait()
+
+	gotPanics := 0
+	for i, code := range codes {
+		if i%4 == 1 {
+			if code != http.StatusInternalServerError {
+				t.Errorf("req %d: status %d, want 500", i, code)
+			}
+			gotPanics++
+		} else if code != http.StatusOK {
+			t.Errorf("req %d: status %d, want 200", i, code)
+		}
+	}
+	if gotPanics != wantPanics {
+		t.Fatalf("fault plan drifted: %d panic requests, want %d", gotPanics, wantPanics)
+	}
+
+	m := scrape(t, ts)
+
+	// Server-level counters match the fault plan and the health snapshot.
+	if got := m["selspec_server_contained_panics_total"]; got != wantPanics {
+		t.Errorf("contained_panics_total = %v, want %d", got, wantPanics)
+	}
+	if got := m["selspec_server_shed_total"]; got != 0 {
+		t.Errorf("shed_total = %v, want 0 (queue was storm-sized)", got)
+	}
+	if got := m["selspec_server_served_total"]; got != N {
+		t.Errorf("served_total = %v, want %d", got, N)
+	}
+	h := srv.health()
+	if uint64(m["selspec_server_contained_panics_total"]) != h.Faulted {
+		t.Errorf("scrape faulted %v != health faulted %d", m["selspec_server_contained_panics_total"], h.Faulted)
+	}
+
+	// Pipeline layer: the per-stage panic counter pins the faults to the
+	// compile stage, and the stage histograms saw the traffic.
+	if got := m[`selspec_pipeline_contained_panics_total{stage="compile"}`]; got != wantPanics {
+		t.Errorf(`contained_panics{stage="compile"} = %v, want %d`, got, wantPanics)
+	}
+	if got := m[`selspec_pipeline_stage_seconds_count{stage="interp"}`]; got == 0 {
+		t.Error("no interp stage timings recorded")
+	}
+
+	// Every instrumented layer reports: dispatch caches, interpreter,
+	// specializer (the Selective requests ran it).
+	for _, series := range []string{
+		"selspec_dispatch_pic_hits_total",
+		"selspec_dispatch_gf_cache_hits_total",
+		"selspec_interp_sends_total",
+		"selspec_interp_steps_total",
+		"selspec_specialize_arcs_examined_total",
+		"selspec_opt_static_bound_sends_total",
+	} {
+		if _, ok := m[series]; !ok {
+			t.Errorf("scrape missing series %s", series)
+		} else if m[series] == 0 && !strings.Contains(series, "static_bound") {
+			t.Errorf("series %s is zero after the storm", series)
+		}
+	}
+}
+
+// TestMetricsShedCounterMatchesObservedSheds overloads a tiny admission
+// window with slow requests and checks the scraped shed counter equals
+// exactly the number of 429s clients saw.
+func TestMetricsShedCounterMatchesObservedSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	defer pipeline.ArmFaults(pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageHarness, Program: "shed-storm",
+		Action: pipeline.FaultSleep, Delay: 150 * time.Millisecond,
+	}))()
+
+	srv := New(Config{
+		MaxConcurrent:  1,
+		QueueDepth:     1,
+		DefaultTimeout: time.Minute,
+		Metrics:        reg,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const N = 8
+	var wg sync.WaitGroup
+	codes := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, _ = post(t, ts, RunRequest{Source: testProg, Label: "shed-storm"})
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for _, code := range codes {
+		if code == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("storm never shed: test lost its overload")
+	}
+	m := scrape(t, ts)
+	if got := m["selspec_server_shed_total"]; got != float64(shed) {
+		t.Errorf("shed_total = %v, clients observed %d sheds", got, shed)
+	}
+	if got := srv.health().Shed; got != uint64(shed) {
+		t.Errorf("health shed = %d, clients observed %d", got, shed)
+	}
+}
+
+// TestMetricsLiveDuringDrain pins the operational contract: once
+// BeginDrain fires, /run refuses new work but /metrics keeps serving —
+// both mid-drain (in-flight requests still running) and after the
+// drain completes.
+func TestMetricsLiveDuringDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	defer pipeline.ArmFaults(pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageHarness, Program: "drain-scrape",
+		Action: pipeline.FaultSleep, Delay: 200 * time.Millisecond,
+	}))()
+
+	srv := New(Config{MaxConcurrent: 2, QueueDepth: 2, Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(t, ts, RunRequest{Source: testProg, Label: "drain-scrape"})
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.InFlight() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.BeginDrain()
+
+	// Mid-drain: /run is refused, /metrics answers.
+	code, _, _ := post(t, ts, RunRequest{Source: testProg})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain /run: status %d, want 503", code)
+	}
+	if m := scrape(t, ts); len(m) == 0 {
+		t.Error("mid-drain scrape returned no series")
+	}
+
+	wg.Wait()
+
+	// Post-drain: still scraping, and the counters reflect the drained
+	// requests.
+	m := scrape(t, ts)
+	if got := m["selspec_server_served_total"]; got != 2 {
+		t.Errorf("served_total after drain = %v, want 2", got)
+	}
+}
+
+// TestMetricsDisabledReturns404: without a registry the endpoint is
+// absent-by-contract, not an empty page.
+func TestMetricsDisabledReturns404(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled /metrics: status %d, want 404", resp.StatusCode)
+	}
+}

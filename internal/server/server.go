@@ -39,6 +39,7 @@ import (
 
 	"selspec/internal/driver"
 	"selspec/internal/interp"
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
 	"selspec/internal/programs"
@@ -74,6 +75,13 @@ type Config struct {
 	// DrainTimeout bounds how long ListenAndServe waits for in-flight
 	// requests after BeginDrain (default 30s).
 	DrainTimeout time.Duration
+	// Metrics, when non-nil, enables observability: the server
+	// registers its admission/fault counters there, every request's
+	// dispatch and interpreter counters flow into it, and GET /metrics
+	// serves it in Prometheus text format. /metrics bypasses admission
+	// control and keeps answering during a drain, so operators can
+	// watch a wind-down. Nil (the default) disables the endpoint.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +130,10 @@ type Server struct {
 	draining  chan struct{}
 	drainOnce sync.Once
 
+	// Registry-backed mirrors of the atomic counters above, for
+	// /metrics scrapers; nil (and free) when Config.Metrics is unset.
+	mServed, mShed, mFaulted *obs.Counter
+
 	breaker *breaker
 	mux     *http.ServeMux
 
@@ -139,11 +151,29 @@ func New(cfg Config) *Server {
 		draining: make(chan struct{}),
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 1024),
 	}
+	if cfg.Metrics != nil {
+		s.mServed = cfg.Metrics.Counter("selspec_server_served_total")
+		s.mShed = cfg.Metrics.Counter("selspec_server_shed_total")
+		s.mFaulted = cfg.Metrics.Counter("selspec_server_contained_panics_total")
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// handleMetrics serves the registry in Prometheus text format. It does
+// not consult admission control or the drain gate: scraping must keep
+// working while the server sheds, breaks circuits, or drains.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Metrics == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WritePrometheus(w)
 }
 
 // Handler exposes the service's routes (POST /run, GET /healthz,
@@ -271,6 +301,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errShed):
 		s.shed.Add(1)
+		s.mShed.Inc()
 		writeErr(w, http.StatusTooManyRequests, ErrorBody{
 			Kind:         KindOverloaded,
 			Error:        "admission queue full",
@@ -290,6 +321,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := s.execute(ctx, rr)
 	s.inflight.Add(-1)
 	s.served.Add(1)
+	s.mServed.Inc()
 
 	if err != nil {
 		status, body := s.classify(ctx, err)
@@ -407,6 +439,7 @@ func (s *Server) execute(ctx context.Context, rr *resolved) (*driver.Result, err
 			DepthLimit:    s.cfg.DepthLimit,
 			Mechanism:     rr.mech,
 			CaptureOutput: true,
+			Metrics:       s.cfg.Metrics,
 		}
 
 		oo := opt.Options{Config: rr.cfg}
@@ -459,6 +492,7 @@ func (s *Server) classify(ctx context.Context, err error) (int, ErrorBody) {
 		return statusClientClosedRequest, body
 	case se != nil && se.Stack != nil:
 		s.faulted.Add(1)
+		s.mFaulted.Inc()
 		body.Kind = KindPanic
 		return http.StatusInternalServerError, body
 	default:
