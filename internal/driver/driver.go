@@ -83,7 +83,36 @@ type RunOptions struct {
 	// Metrics, when non-nil, receives the run's dispatch and
 	// interpreter counters (PIC hits, GF-cache hits, sends, steps, ...).
 	// Registration is idempotent, so many runs may share one registry.
+	// Each Execute re-resolves the instruments under the registry lock;
+	// hot callers should register once with NewInstruments and set
+	// Instruments instead.
 	Metrics *obs.Registry
+	// Instruments supplies pre-registered instrument bundles (see
+	// NewInstruments) and takes precedence over Metrics, keeping the
+	// registry mutex entirely off the per-request path.
+	Instruments *Instruments
+}
+
+// Instruments bundles the interpreter and dispatch-cache instruments
+// pre-registered against one registry. A long-lived caller (the HTTP
+// server) builds this once at construction and shares it across every
+// Execute via RunOptions.Instruments, instead of paying ~10 registry
+// mutex acquisitions per request to re-resolve the same shared series.
+// Every field is backed by atomic counters, so one bundle may serve
+// any number of concurrent runs.
+type Instruments struct {
+	Interp *interp.Metrics
+	Lookup *hier.LookupMetrics
+}
+
+// NewInstruments registers (idempotently) the interpreter and
+// GF-cache instruments in r. Returns nil on the nil registry — the
+// disabled mode, which Execute treats as "no metrics".
+func NewInstruments(r *obs.Registry) *Instruments {
+	if r == nil {
+		return nil
+	}
+	return &Instruments{Interp: interp.NewMetrics(r), Lookup: hier.NewLookupMetrics(r)}
 }
 
 // Result reports one execution.
@@ -113,10 +142,14 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	in.Profile = ro.Profile
 	in.StepLimit = ro.StepLimit
 	in.DepthLimit = ro.DepthLimit
-	if ro.Metrics != nil {
-		in.Obs = interp.NewMetrics(ro.Metrics)
+	ins := ro.Instruments
+	if ins == nil {
+		ins = NewInstruments(ro.Metrics)
+	}
+	if ins != nil {
+		in.Obs = ins.Interp
 		if c.Prog.H != nil {
-			c.Prog.H.SetLookupMetrics(hier.NewLookupMetrics(ro.Metrics))
+			c.Prog.H.SetLookupMetrics(ins.Lookup)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"selspec/internal/interp"
+	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/specialize"
 )
@@ -185,6 +186,37 @@ func TestOverridesValidated(t *testing.T) {
 	res, err = Execute(c, RunOptions{})
 	if err != nil || res.Value != "1" {
 		t.Fatalf("restore failed: %v %v", res, err)
+	}
+}
+
+func TestSharedInstrumentsAccumulate(t *testing.T) {
+	if NewInstruments(nil) != nil {
+		t.Fatal("NewInstruments(nil) should be nil (disabled mode)")
+	}
+	p := MustLoad(setProgram)
+	c, err := opt.Compile(p.Prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg)
+	// Two runs through one pre-registered bundle — the server's shape —
+	// must feed the same series Metrics-based registration would.
+	for i := 0; i < 2; i++ {
+		if _, err := Execute(c, RunOptions{Instruments: ins, StepLimit: 50_000_000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	two := reg.Snapshot().Counters["selspec_interp_sends_total"]
+	if two == 0 {
+		t.Fatal("shared instruments recorded no sends")
+	}
+	if _, err := Execute(c, RunOptions{Metrics: reg, StepLimit: 50_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	three := reg.Snapshot().Counters["selspec_interp_sends_total"]
+	if three != two/2*3 {
+		t.Errorf("Metrics path diverged from Instruments path: 2 runs = %d sends, 3 runs = %d", two, three)
 	}
 }
 

@@ -78,6 +78,16 @@ var DefaultSecondsBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 
 // Histogram is a bounded histogram with fixed upper bounds, in the
 // Prometheus cumulative-bucket style. Like Counter, the nil histogram
 // discards observations.
+//
+// Consistency note: Observe updates the bucket count, the total count
+// and the sum as three independent atomics so the event path stays
+// lock-free. A Snapshot or scrape that lands between those updates can
+// therefore see a histogram whose _count/_sum momentarily disagree
+// with the bucket counts by the in-flight observations. Each value is
+// itself torn-free, the skew is bounded by the number of concurrent
+// Observe calls, and the series re-converge on the next scrape — the
+// standard trade Prometheus client libraries make. Callers needing an
+// exact cut must quiesce writers first (as Reset's callers do).
 type Histogram struct {
 	id     idKey
 	bounds []float64       // sorted upper bounds; an implicit +Inf bucket follows
@@ -274,22 +284,38 @@ func (r *Registry) Reset() {
 // exposition format (v0.0.4): one TYPE line per metric family, then
 // one line per series, families in registration order and series
 // sorted within a family. Deterministic for a fixed set of values.
+//
+// The instrument maps are only touched under r.mu: each idKey is
+// resolved to its *Counter/*Histogram while the lock is held, and
+// rendering (which may block on a slow scraper's io.Writer) happens
+// afterwards from those pointers. Concurrent lazy registration —
+// e.g. the first POST /run registering interpreter counters while a
+// /metrics scrape is in flight — therefore never races a map read
+// against a map write.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
+	type series struct {
+		id idKey
+		c  *Counter
+		h  *Histogram
+	}
 	type family struct {
 		name string
 		kind string // "counter" | "histogram"
-		ids  []idKey
+		ss   []series
 	}
+	r.mu.Lock()
 	var fams []*family
 	byName := map[string]*family{}
 	for _, id := range r.order {
+		sr := series{id: id}
 		kind := "counter"
-		if _, ok := r.hs[id]; ok {
-			kind = "histogram"
+		if h, ok := r.hs[id]; ok {
+			kind, sr.h = "histogram", h
+		} else {
+			sr.c = r.cs[id]
 		}
 		f := byName[id.name]
 		if f == nil {
@@ -297,24 +323,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			byName[id.name] = f
 			fams = append(fams, f)
 		}
-		f.ids = append(f.ids, id)
+		f.ss = append(f.ss, sr)
 	}
-	cs, hs := r.cs, r.hs
 	r.mu.Unlock()
 
 	for _, f := range fams {
-		sort.Slice(f.ids, func(i, j int) bool { return f.ids[i].labels < f.ids[j].labels })
+		sort.Slice(f.ss, func(i, j int) bool { return f.ss[i].id.labels < f.ss[j].id.labels })
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		for _, id := range f.ids {
+		for _, sr := range f.ss {
+			id := sr.id
 			if f.kind == "counter" {
-				if _, err := fmt.Fprintf(w, "%s %d\n", id.series(), cs[id].Value()); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n", id.series(), sr.c.Value()); err != nil {
 					return err
 				}
 				continue
 			}
-			h := hs[id]
+			h := sr.h
 			cum := uint64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()

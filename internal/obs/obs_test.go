@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -169,6 +171,76 @@ func TestConcurrentBumpSnapshotWrite(t *testing.T) {
 	}
 	if got, want := h.Sum(), 0.25*workers*perWorker; got != want {
 		t.Errorf("h sum = %v, want %v", got, want)
+	}
+}
+
+// yieldWriter discards output but yields the processor on every write,
+// keeping a render in flight across many scheduler quanta.
+type yieldWriter struct{}
+
+func (yieldWriter) Write(p []byte) (int, error) {
+	runtime.Gosched()
+	return len(p), nil
+}
+
+// TestConcurrentRegisterScrape is the serve-mode race regression: the
+// first POST /run registers interpreter/PIC counters lazily while a
+// GET /metrics scrape renders the registry. WritePrometheus must never
+// read the instrument maps outside the lock, or concurrent
+// registration is a fatal concurrent map read/write under -race (and
+// in production). Same for Snapshot and Reset.
+func TestConcurrentRegisterScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Iteration counts are sized so a single -race run reliably
+	// overlaps an unlocked render with a registration map write.
+	const workers, perWorker = 8, 600
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Fresh series each iteration forces a map write; a
+				// shared series exercises the idempotent path.
+				r.Counter("reg_race_total", Label{"w", strconv.Itoa(w*perWorker + i)}).Inc()
+				r.Counter("reg_race_shared_total").Inc()
+				r.Histogram("reg_race_seconds", []float64{0.5}, Label{"w", strconv.Itoa(w*perWorker + i)}).Observe(0.1)
+			}
+		}(w)
+	}
+	// Scrape from several goroutines for as long as registrations are
+	// in flight, so renders genuinely overlap map writes rather than
+	// finishing first.
+	go func() { wg.Wait(); close(done) }()
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			// The yielding writer stretches each render across many
+			// scheduler quanta, maximizing overlap with registrations.
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = r.WritePrometheus(yieldWriter{})
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	if got := r.Counter("reg_race_shared_total").Value(); got != workers*perWorker {
+		t.Errorf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if got := strings.Count(buf.String(), "reg_race_total{"); got != workers*perWorker {
+		t.Errorf("rendered %d reg_race_total series, want %d", got, workers*perWorker)
 	}
 }
 

@@ -133,6 +133,10 @@ type Server struct {
 	// Registry-backed mirrors of the atomic counters above, for
 	// /metrics scrapers; nil (and free) when Config.Metrics is unset.
 	mServed, mShed, mFaulted *obs.Counter
+	// instruments is the interpreter/dispatch instrument bundle,
+	// registered once here so per-request Executes never take the
+	// registry lock; nil when Config.Metrics is unset.
+	instruments *driver.Instruments
 
 	breaker *breaker
 	mux     *http.ServeMux
@@ -155,6 +159,7 @@ func New(cfg Config) *Server {
 		s.mServed = cfg.Metrics.Counter("selspec_server_served_total")
 		s.mShed = cfg.Metrics.Counter("selspec_server_shed_total")
 		s.mFaulted = cfg.Metrics.Counter("selspec_server_contained_panics_total")
+		s.instruments = driver.NewInstruments(cfg.Metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
@@ -439,7 +444,7 @@ func (s *Server) execute(ctx context.Context, rr *resolved) (*driver.Result, err
 			DepthLimit:    s.cfg.DepthLimit,
 			Mechanism:     rr.mech,
 			CaptureOutput: true,
-			Metrics:       s.cfg.Metrics,
+			Instruments:   s.instruments,
 		}
 
 		oo := opt.Options{Config: rr.cfg}
