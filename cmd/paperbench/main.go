@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"selspec/internal/bench"
+	"selspec/internal/driver"
 	"selspec/internal/obs"
 	"selspec/internal/pipeline"
 	"selspec/internal/specialize"
@@ -55,8 +56,20 @@ func run() error {
 		depth     = flag.Int("depthlimit", 0, "per-cell call-depth limit (0 = interpreter default, negative = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget, e.g. 30s (0 = none)")
 		trace     = flag.Bool("trace", false, "print per-stage span summaries (count, failures, wall time) to stderr at exit")
+		engineFl  = flag.String("engine", "", "execution engine: vm (default), tree, or both; vm falls back to tree per cell on unsupported constructs; both measures the two tiers interleaved (requires -json) and writes -out plus -baseline-out")
+		baseOut   = flag.String("baseline-out", "BENCH_baseline.json", "output path for the tree-tier trajectory in -engine both mode")
+		reps      = flag.Int("reps", 1, "repeat each cell's measured run N times, keeping the fastest wall (counters are deterministic and identical across reps)")
 	)
 	flag.Parse()
+
+	both := *engineFl == "both"
+	var engine driver.Engine
+	if !both {
+		var err error
+		if engine, err = driver.ParseEngine(*engineFl); err != nil {
+			return err
+		}
+	}
 
 	// Static tables need no measurements.
 	switch *table {
@@ -85,14 +98,19 @@ func run() error {
 		DepthLimit: *depth,
 		Timeout:    *timeout,
 		Context:    ctx,
+		Engine:     engine,
+		Reps:       *reps,
 	}
 
 	// -json runs carry the grid's counter snapshot in the trajectory's
 	// metrics block; -trace aggregates every Guard boundary into the
 	// per-stage summary printed at exit. Either arms the pipeline
 	// observer; neither perturbs the measured cells beyond atomic bumps.
+	// Pair mode keeps one registry per engine instead (wired inside the
+	// both-branch below), so the two trajectories' metrics blocks stay
+	// independently collected and byte-comparable.
 	var tr *obs.Tracer
-	if *jsonOut {
+	if *jsonOut && !both {
 		ho.Metrics = obs.NewRegistry()
 	}
 	if *trace {
@@ -108,7 +126,39 @@ func run() error {
 	}
 
 	if *exts {
+		if both {
+			return fmt.Errorf("-engine both does not support -extensions")
+		}
 		return bench.Extensions(os.Stdout, ho)
+	}
+
+	if both {
+		if !*jsonOut {
+			return fmt.Errorf("-engine both requires -json")
+		}
+		hoTree, hoVM := ho, ho
+		hoTree.Engine, hoTree.Metrics = driver.EngineTree, obs.NewRegistry()
+		hoVM.Engine, hoVM.Metrics = driver.EngineVM, obs.NewRegistry()
+		start := time.Now()
+		treeSuite, vmSuite, err := bench.RunSuitePair(hoTree, hoVM)
+		suiteWall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if err := writeTrajectory(*baseOut, treeSuite, suiteWall, *quick, *reps); err != nil {
+			return err
+		}
+		if err := writeTrajectory(*outPath, vmSuite, suiteWall, *quick, *reps); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s (suite wall %s)\n", *baseOut, *outPath, suiteWall.Round(time.Millisecond))
+		if treeSuite.Failed() || vmSuite.Failed() {
+			treeSuite.FailureSummary(os.Stderr)
+			vmSuite.FailureSummary(os.Stderr)
+			return fmt.Errorf("grid cells failed: %d (tree), %d (vm)",
+				len(treeSuite.Failures), len(vmSuite.Failures))
+		}
+		return nil
 	}
 
 	start := time.Now()
@@ -120,15 +170,7 @@ func run() error {
 
 	switch {
 	case *jsonOut:
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		if err := suite.WriteJSON(f, suiteWall, *quick); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTrajectory(*outPath, suite, suiteWall, *quick, *reps); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (suite wall %s)\n", *outPath, suiteWall.Round(time.Millisecond))
@@ -162,6 +204,18 @@ func run() error {
 			len(suite.Failures)+countResults(suite))
 	}
 	return nil
+}
+
+func writeTrajectory(path string, s *bench.Suite, wall time.Duration, quick bool, reps int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f, wall, quick, reps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func countResults(s *bench.Suite) int {

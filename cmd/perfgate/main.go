@@ -1,0 +1,162 @@
+// perfgate is the CI perf-trajectory gate for the bytecode tier: it
+// compares two paperbench -json trajectories — a tree-interpreter
+// baseline and a VM candidate from the same pair-mode run — and fails
+// unless every benchmark's geometric-mean steps/sec speedup clears the
+// committed floor AND the two tiers agree exactly on every
+// deterministic observable (steps, cycles, dispatches, metrics block).
+// The floor lives in a one-line file (default .github/perf-floor.txt)
+// so raising it is an ordinary reviewed diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"selspec/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "tree-tier trajectory JSON")
+	candidate := flag.String("candidate", "BENCH_vm.json", "vm-tier trajectory JSON")
+	floorPath := flag.String("floor", ".github/perf-floor.txt", "file holding the minimum per-benchmark geomean speedup")
+	flag.Parse()
+
+	if err := gate(os.Stdout, *baseline, *candidate, *floorPath); err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTrajectory(path string) (*bench.JSONTrajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t bench.JSONTrajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// readFloor parses the floor file: one positive decimal, with blank
+// lines and #-comments ignored so the file can document itself.
+func readFloor(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := strconv.ParseFloat(line, 64)
+		if err != nil || f <= 0 {
+			return 0, fmt.Errorf("%s: bad floor %q", path, line)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("%s: no floor value found", path)
+}
+
+type cellKey struct{ bench, cfg string }
+
+func gate(w io.Writer, baselinePath, candidatePath, floorPath string) error {
+	floor, err := readFloor(floorPath)
+	if err != nil {
+		return err
+	}
+	tree, err := loadTrajectory(baselinePath)
+	if err != nil {
+		return err
+	}
+	vm, err := loadTrajectory(candidatePath)
+	if err != nil {
+		return err
+	}
+
+	// A contained benchmark fault in either tier means the trajectory
+	// is not a full grid; gate on the whole grid or nothing.
+	if len(tree.Failures) > 0 || len(vm.Failures) > 0 {
+		return fmt.Errorf("trajectories contain failures: baseline %d, candidate %d",
+			len(tree.Failures), len(vm.Failures))
+	}
+
+	// The observability contract: the two tiers' metrics blocks are
+	// byte-identical (same series, same cumulative values).
+	if len(tree.Metrics) != len(vm.Metrics) {
+		return fmt.Errorf("metrics blocks differ in length: baseline %d, candidate %d",
+			len(tree.Metrics), len(vm.Metrics))
+	}
+	for i := range tree.Metrics {
+		if tree.Metrics[i] != vm.Metrics[i] {
+			return fmt.Errorf("metrics diverged at %q: baseline %d, candidate %d",
+				tree.Metrics[i].Name, tree.Metrics[i].Value, vm.Metrics[i].Value)
+		}
+	}
+
+	byKey := make(map[cellKey]bench.JSONResult, len(vm.Results))
+	for _, r := range vm.Results {
+		byKey[cellKey{r.Benchmark, r.Config}] = r
+	}
+
+	// Per-benchmark log-sum of per-cell speedups, for the geomean.
+	logSum := make(map[string]float64)
+	cells := make(map[string]int)
+	var order []string
+	for _, tr := range tree.Results {
+		if tr.Engine != "tree" {
+			return fmt.Errorf("%s/%s: baseline ran on %q, want tree", tr.Benchmark, tr.Config, tr.Engine)
+		}
+		vr, ok := byKey[cellKey{tr.Benchmark, tr.Config}]
+		if !ok {
+			return fmt.Errorf("%s/%s: cell missing from candidate", tr.Benchmark, tr.Config)
+		}
+		if vr.Engine != "vm" {
+			return fmt.Errorf("%s/%s: candidate ran on %q, want vm (fallback?)", tr.Benchmark, tr.Config, vr.Engine)
+		}
+		// Deterministic observables must match cell-for-cell: a perf win
+		// bought by doing different work is a correctness bug, not a win.
+		if vr.Steps != tr.Steps || vr.Cycles != tr.Cycles ||
+			vr.Dispatches != tr.Dispatches || vr.VersionSelects != tr.VersionSelects {
+			return fmt.Errorf("%s/%s: deterministic counters diverged:\n  tree: steps=%d cycles=%d dispatches=%d vsel=%d\n  vm:   steps=%d cycles=%d dispatches=%d vsel=%d",
+				tr.Benchmark, tr.Config,
+				tr.Steps, tr.Cycles, tr.Dispatches, tr.VersionSelects,
+				vr.Steps, vr.Cycles, vr.Dispatches, vr.VersionSelects)
+		}
+		if tr.StepsPerSec <= 0 || vr.StepsPerSec <= 0 {
+			return fmt.Errorf("%s/%s: non-positive steps/sec", tr.Benchmark, tr.Config)
+		}
+		if _, seen := logSum[tr.Benchmark]; !seen {
+			order = append(order, tr.Benchmark)
+		}
+		logSum[tr.Benchmark] += math.Log(vr.StepsPerSec / tr.StepsPerSec)
+		cells[tr.Benchmark]++
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("baseline %s holds no result cells", baselinePath)
+	}
+
+	var failed []string
+	fmt.Fprintf(w, "perfgate: floor %.2fx (vm vs tree, geomean steps/sec across configs)\n", floor)
+	for _, name := range order {
+		speedup := math.Exp(logSum[name] / float64(cells[name]))
+		status := "ok"
+		if speedup < floor {
+			status = "BELOW FLOOR"
+			failed = append(failed, fmt.Sprintf("%s %.2fx", name, speedup))
+		}
+		fmt.Fprintf(w, "  %-14s %6.2fx  (%d cells)  %s\n", name, speedup, cells[name], status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("speedup below %.2fx floor: %s", floor, strings.Join(failed, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selspec/internal/bench"
+)
+
+// write a trajectory (and floor file) into a temp dir and run gate.
+func runGate(t *testing.T, tree, vm bench.JSONTrajectory, floor string) error {
+	t.Helper()
+	dir := t.TempDir()
+	paths := map[string]any{"tree.json": tree, "vm.json": vm}
+	for name, v := range paths {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp := filepath.Join(dir, "floor.txt")
+	if err := os.WriteFile(fp, []byte(floor), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return gate(io.Discard, filepath.Join(dir, "tree.json"), filepath.Join(dir, "vm.json"), fp)
+}
+
+func cell(benchName, cfg, engine string, sps float64, steps uint64) bench.JSONResult {
+	return bench.JSONResult{
+		Benchmark: benchName, Config: cfg, Engine: engine,
+		StepsPerSec: sps, Steps: steps, Cycles: steps * 10, Dispatches: steps / 2,
+	}
+}
+
+func pair(ratio float64) (bench.JSONTrajectory, bench.JSONTrajectory) {
+	metrics := []bench.JSONMetric{{Name: "selspec_dispatch_total", Value: 42}}
+	tree := bench.JSONTrajectory{
+		Results: []bench.JSONResult{
+			cell("Richards", "Base", "tree", 1000, 500),
+			cell("Richards", "CHA", "tree", 2000, 400),
+		},
+		Metrics: metrics,
+	}
+	vm := bench.JSONTrajectory{
+		Results: []bench.JSONResult{
+			cell("Richards", "Base", "vm", 1000*ratio, 500),
+			cell("Richards", "CHA", "vm", 2000*ratio, 400),
+		},
+		Metrics: append([]bench.JSONMetric{}, metrics...),
+	}
+	return tree, vm
+}
+
+func TestGatePassesAboveFloor(t *testing.T) {
+	tree, vm := pair(5.0)
+	if err := runGate(t, tree, vm, "# floor\n3.0\n"); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+}
+
+func TestGateFailsBelowFloor(t *testing.T) {
+	tree, vm := pair(2.0)
+	err := runGate(t, tree, vm, "3.0\n")
+	if err == nil || !strings.Contains(err.Error(), "below 3.00x floor") {
+		t.Fatalf("gate: %v, want below-floor failure", err)
+	}
+}
+
+func TestGateFailsOnCounterDivergence(t *testing.T) {
+	tree, vm := pair(5.0)
+	vm.Results[1].Steps++ // the tiers did different work
+	err := runGate(t, tree, vm, "3.0\n")
+	if err == nil || !strings.Contains(err.Error(), "deterministic counters diverged") {
+		t.Fatalf("gate: %v, want counter-divergence failure", err)
+	}
+}
+
+func TestGateFailsOnMetricsDivergence(t *testing.T) {
+	tree, vm := pair(5.0)
+	vm.Metrics[0].Value++
+	err := runGate(t, tree, vm, "3.0\n")
+	if err == nil || !strings.Contains(err.Error(), "metrics diverged") {
+		t.Fatalf("gate: %v, want metrics-divergence failure", err)
+	}
+}
+
+func TestGateFailsOnFallbackEngine(t *testing.T) {
+	tree, vm := pair(5.0)
+	vm.Results[0].Engine = "tree" // silent fallback must not pass the gate
+	err := runGate(t, tree, vm, "3.0\n")
+	if err == nil || !strings.Contains(err.Error(), "fallback") {
+		t.Fatalf("gate: %v, want fallback failure", err)
+	}
+}
+
+func TestGateFailsOnContainedFailures(t *testing.T) {
+	tree, vm := pair(5.0)
+	vm.Failures = []bench.Failure{{Benchmark: "Richards"}}
+	err := runGate(t, tree, vm, "3.0\n")
+	if err == nil || !strings.Contains(err.Error(), "failures") {
+		t.Fatalf("gate: %v, want failures rejection", err)
+	}
+}
+
+func TestReadFloorRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty":    "# only comments\n",
+		"negative": "-1\n",
+		"words":    "fast\n",
+	} {
+		fp := filepath.Join(dir, name)
+		if err := os.WriteFile(fp, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readFloor(fp); err == nil {
+			t.Errorf("%s: readFloor accepted %q", name, content)
+		}
+	}
+}

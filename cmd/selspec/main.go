@@ -41,6 +41,7 @@ import (
 	"selspec/internal/profile"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
+	"selspec/internal/vm"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func run() error {
 		benchName  = flag.String("bench", "", "run an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
 		threshold  = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold (arc invocations)")
 		mechName   = flag.String("dispatch", "PIC", "dispatch mechanism: "+strings.Join(interp.MechanismNames(), ", "))
+		engineName = flag.String("engine", "", "execution engine: "+strings.Join(driver.EngineNames(), ", ")+" (default vm, falling back to tree on unsupported constructs)")
 		stats      = flag.Bool("stats", false, "print dispatch and code-space statistics")
 		writeProf  = flag.String("profile", "", "run under Base with instrumentation and write the call-graph profile to this file")
 		useProf    = flag.String("use-profile", "", "read a previously written profile instead of running a training pass (Selective)")
@@ -94,6 +96,10 @@ func run() error {
 		return err
 	}
 	mech, err := interp.ParseMechanism(*mechName)
+	if err != nil {
+		return err
+	}
+	engine, err := driver.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
@@ -216,7 +222,23 @@ func run() error {
 		}
 	}
 
-	val, rerr := pipeline.RunInterp(label, cfg.String(), in)
+	// Engine selection mirrors driver.Execute: the bytecode compiler
+	// runs no guest code, so falling back to the tree tier on an
+	// unsupported construct is side-effect free.
+	var mach *vm.Machine
+	if engine == driver.EngineVM {
+		var merr error
+		if mach, merr = vm.New(in); merr != nil {
+			engine = driver.EngineTree
+		}
+	}
+	var val interp.Value
+	var rerr error
+	if engine == driver.EngineVM {
+		val, rerr = pipeline.RunVM(label, cfg.String(), mach)
+	} else {
+		val, rerr = pipeline.RunInterp(label, cfg.String(), in)
+	}
 	if rerr != nil {
 		return rerr
 	}

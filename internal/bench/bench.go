@@ -35,7 +35,9 @@ type Result struct {
 	Dispatches     uint64 // dynamically dispatched sends
 	VersionSelects uint64
 	Cycles         uint64 // abstract cost model ("execution speed")
+	Steps          uint64 // interpreter steps charged (engine-independent)
 	Wall           time.Duration
+	Engine         driver.Engine // tier that actually ran (after any fallback)
 
 	StaticVersions  int // routines a static compile produces (Fig 6 left)
 	InvokedVersions int // routines invoked at run time (Fig 6 right)
@@ -46,6 +48,18 @@ type Result struct {
 
 // DynamicDispatches is the Figure 5 metric.
 func (r *Result) DynamicDispatches() uint64 { return r.Dispatches + r.VersionSelects }
+
+// StepsPerSec is the engine-comparable throughput metric of the perf
+// trajectory: interpreter steps are charged identically by both
+// execution tiers (the differential suites enforce it), so the ratio of
+// two engines' StepsPerSec on the same cell is a pure wall-clock
+// speedup, immune to the engines ever diverging on work done.
+func (r *Result) StepsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Wall.Seconds()
+}
 
 // Options tunes a harness run.
 type Options struct {
@@ -68,6 +82,18 @@ type Options struct {
 	// specializer counters; RunSuite snapshots them into Suite.Metrics
 	// for the JSON trajectory's metrics block.
 	Metrics *obs.Registry
+	// Engine selects the execution tier for every cell (default
+	// driver.EngineVM with automatic per-cell fallback to the tree
+	// interpreter on unsupported constructs). The tier that actually ran
+	// is recorded per Result, so a fallback is visible in the trajectory.
+	Engine driver.Engine
+	// Reps re-executes each cell's measured run this many times and
+	// keeps the fastest wall clock (<=1 means once). Execution is
+	// deterministic, so every repetition produces identical counters and
+	// output; only the wall time varies with scheduler and GC noise, and
+	// best-of-N is the standard way to report the run least perturbed by
+	// it. Profile collection (Selective) is never repeated.
+	Reps int
 }
 
 // Fault injection for degradation tests goes through the pipeline
@@ -86,6 +112,7 @@ func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map
 		Timeout:    ho.Timeout,
 		Context:    ho.Context,
 		Metrics:    ho.Metrics,
+		Engine:     ho.Engine,
 	}
 	return ro
 }
@@ -138,11 +165,22 @@ func Run(b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
 // pipeline fault boundary, so an internal panic in any of them comes
 // back as a structured error for this cell only.
 func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
-	test := b.Test
-	if ho.Quick {
-		test = b.Train
+	c, stats, err := prepare(p, b, cfg, ho)
+	if err != nil {
+		return nil, err
 	}
+	out, err := measure(c, b, cfg, ho)
+	if err != nil {
+		return nil, err
+	}
+	out.SpecStats = stats
+	return out, nil
+}
 
+// prepare compiles one cell's program — for Selective, after the
+// training-input profile run and the specialization pass. The returned
+// stats are non-nil only for Selective.
+func prepare(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options) (*opt.Compiled, *specialize.Stats, error) {
 	oo := opt.Options{Config: cfg}
 	switch cfg {
 	case opt.CustMM:
@@ -150,48 +188,67 @@ func RunOn(p *driver.Pipeline, b programs.Benchmark, cfg opt.Config, ho Options)
 	case opt.Selective:
 		cg, err := p.CollectProfile(ho.runOptions(b, cfg, b.Train))
 		if err != nil {
-			return nil, fmt.Errorf("%s profile: %w", b.Name, err)
+			return nil, nil, fmt.Errorf("%s profile: %w", b.Name, err)
 		}
 		res, err := pipeline.Specialize(b.Name, p.Prog, cg, ho.SpecParams)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		oo.Specializations = res.Specializations
 		c, err := pipeline.Compile(b.Name, p.Prog, oo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out, err := measure(c, b, cfg, test, ho)
-		if err != nil {
-			return nil, err
-		}
-		out.SpecStats = &res.Stats
-		return out, nil
+		return c, &res.Stats, nil
 	}
-
 	c, err := pipeline.Compile(b.Name, p.Prog, oo)
+	return c, nil, err
+}
+
+// runCell is one measured execution of a prepared cell.
+func runCell(c *opt.Compiled, b programs.Benchmark, cfg opt.Config, ho Options, rep int) (*driver.Result, error) {
+	test := b.Test
+	if ho.Quick {
+		test = b.Train
+	}
+	res, err := driver.Execute(c, ho.runOptions(b, cfg, test))
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v (rep %d): %w", b.Name, c.Opts.Config, rep, err)
+	}
+	return res, nil
+}
+
+func measure(c *opt.Compiled, b programs.Benchmark, cfg opt.Config, ho Options) (*Result, error) {
+	res, err := runCell(c, b, cfg, ho, 0)
 	if err != nil {
 		return nil, err
 	}
-	return measure(c, b, cfg, test, ho)
+	for rep := 1; rep < ho.Reps; rep++ {
+		again, err := runCell(c, b, cfg, ho, rep)
+		if err != nil {
+			return nil, err
+		}
+		if again.Wall < res.Wall {
+			res = again
+		}
+	}
+	return toResult(c, b, res), nil
 }
 
-func measure(c *opt.Compiled, b programs.Benchmark, cfg opt.Config, test map[string]int64, ho Options) (*Result, error) {
-	res, err := driver.Execute(c, ho.runOptions(b, cfg, test))
-	if err != nil {
-		return nil, fmt.Errorf("%s under %v: %w", b.Name, c.Opts.Config, err)
-	}
+func toResult(c *opt.Compiled, b programs.Benchmark, res *driver.Result) *Result {
 	return &Result{
 		Benchmark:       b.Name,
 		Config:          c.Opts.Config,
 		Dispatches:      res.Counters.Dispatches,
 		VersionSelects:  res.Counters.VersionSelects,
 		Cycles:          res.Counters.Cycles,
+		Steps:           res.Steps,
 		Wall:            res.Wall,
+		Engine:          res.Engine,
 		StaticVersions:  c.StaticVersionCount(),
 		InvokedVersions: res.Invoked,
 		IRNodes:         res.Stats.IRNodes,
-	}, nil
+	}
 }
 
 // Suite holds the full benchmark × configuration result matrix, plus
@@ -308,6 +365,112 @@ func RunSuite(ho Options) (*Suite, error) {
 	}
 	s.Metrics = MetricRows(ho.Metrics)
 	return s, nil
+}
+
+// prepared is one cell's compile product (stats non-nil for Selective).
+type prepared struct {
+	c  *opt.Compiled
+	st *specialize.Stats
+}
+
+// RunSuitePair measures the whole grid under two engine configurations
+// (typically tree and vm) in one process, interleaving the two engines'
+// repetitions within every cell: rep k of engine A runs back-to-back
+// with rep k of engine B, so both tiers sample the same host conditions
+// and the per-cell steps/sec ratio is meaningful even on a noisy,
+// shared box — the methodology behind the committed BENCH_baseline.json
+// / BENCH_vm.json pair and the CI perf-ratio gate.
+//
+// Apart from the time interleaving, the two measurements are fully
+// independent suites: each engine gets its own pipelines (so hierarchy
+// lookup caches warm identically to a solo run), its own profile runs,
+// and its own metrics registry — which is what keeps the two
+// trajectories' metrics blocks byte-comparable: an engine pair that
+// executes identically produces identical counter totals.
+func RunSuitePair(a, b Options) (*Suite, *Suite, error) {
+	benches := programs.All()
+	cfgs := opt.Configs()
+	opts := [2]Options{a, b}
+	var suites [2]*Suite
+	for e := range suites {
+		suites[e] = &Suite{Results: make(map[string]map[opt.Config]*Result, len(benches))}
+		for _, bm := range benches {
+			suites[e].Names = append(suites[e].Names, bm.Name)
+			suites[e].Results[bm.Name] = make(map[opt.Config]*Result, len(cfgs))
+		}
+	}
+
+	// Per-engine pipelines: independent lookup-cache warmth.
+	var pipes [2][]*driver.Pipeline
+	for e := range pipes {
+		pipes[e] = make([]*driver.Pipeline, len(benches))
+		for i, bm := range benches {
+			p, err := driver.LoadNamed(bm.Name, bm.Source)
+			if err != nil {
+				suites[e].Failures = append(suites[e].Failures, failureOf(bm.Name, "", err))
+				continue
+			}
+			pipes[e][i] = p
+		}
+	}
+
+	// The grid runs serially in deterministic order: pair mode exists to
+	// control measurement noise, and a worker pool would reintroduce it.
+	for i, bm := range benches {
+		for _, cfg := range cfgs {
+			var cs [2]*opt.Compiled
+			var stats [2]*specialize.Stats
+			var best [2]*driver.Result
+			failed := false
+			for e := range opts {
+				if pipes[e][i] == nil {
+					failed = true
+					continue
+				}
+				pr, err := pipeline.Guard(pipeline.StageHarness, bm.Name, cfg.String(),
+					func() (prepared, error) {
+						c, st, err := prepare(pipes[e][i], bm, cfg, opts[e])
+						return prepared{c, st}, err
+					})
+				if err != nil {
+					suites[e].Failures = append(suites[e].Failures, failureOf(bm.Name, cfg.String(), err))
+					failed = true
+					continue
+				}
+				cs[e], stats[e] = pr.c, pr.st
+			}
+			if failed {
+				continue
+			}
+			reps := max(1, opts[0].Reps)
+			for rep := 0; rep < reps && !failed; rep++ {
+				for e := range opts {
+					res, err := pipeline.Guard(pipeline.StageHarness, bm.Name, cfg.String(),
+						func() (*driver.Result, error) { return runCell(cs[e], bm, cfg, opts[e], rep) })
+					if err != nil {
+						suites[e].Failures = append(suites[e].Failures, failureOf(bm.Name, cfg.String(), err))
+						failed = true
+						break
+					}
+					if best[e] == nil || res.Wall < best[e].Wall {
+						best[e] = res
+					}
+				}
+			}
+			if failed {
+				continue
+			}
+			for e := range opts {
+				out := toResult(cs[e], bm, best[e])
+				out.SpecStats = stats[e]
+				suites[e].Results[bm.Name][cfg] = out
+			}
+		}
+	}
+	for e := range opts {
+		suites[e].Metrics = MetricRows(opts[e].Metrics)
+	}
+	return suites[0], suites[1], nil
 }
 
 // Table1 renders the compiler-configuration table (paper Table 1).
@@ -504,8 +667,8 @@ func (s *Suite) DispatchEliminationSummary(w io.Writer) {
 func (s *Suite) CSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"benchmark", "config", "dispatches", "version_selects", "cycles",
-		"static_versions", "invoked_versions", "ir_nodes", "wall_ns",
+		"benchmark", "config", "engine", "dispatches", "version_selects", "cycles",
+		"static_versions", "invoked_versions", "ir_nodes", "steps", "wall_ns",
 	}); err != nil {
 		return err
 	}
@@ -516,10 +679,10 @@ func (s *Suite) CSV(w io.Writer) error {
 				continue
 			}
 			rec := []string{
-				name, cfg.String(),
+				name, cfg.String(), r.Engine.String(),
 				fmt.Sprint(r.Dispatches), fmt.Sprint(r.VersionSelects), fmt.Sprint(r.Cycles),
 				fmt.Sprint(r.StaticVersions), fmt.Sprint(r.InvokedVersions), fmt.Sprint(r.IRNodes),
-				fmt.Sprint(r.Wall.Nanoseconds()),
+				fmt.Sprint(r.Steps), fmt.Sprint(r.Wall.Nanoseconds()),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

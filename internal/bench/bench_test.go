@@ -116,7 +116,7 @@ func TestCSVExport(t *testing.T) {
 	if len(lines) != 1+4*5 {
 		t.Fatalf("CSV rows = %d, want 21", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "benchmark,config,dispatches") {
+	if !strings.HasPrefix(lines[0], "benchmark,config,engine,dispatches") {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "Richards,Base,") {

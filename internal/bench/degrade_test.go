@@ -126,7 +126,7 @@ func TestPoisonedSuiteRenders(t *testing.T) {
 func TestPoisonedSuiteJSON(t *testing.T) {
 	s := poisonedSuite(t)
 	var b bytes.Buffer
-	if err := s.WriteJSON(&b, time.Second, true); err != nil {
+	if err := s.WriteJSON(&b, time.Second, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	var tr JSONTrajectory
@@ -152,7 +152,7 @@ func TestPoisonedSuiteJSON(t *testing.T) {
 func TestCleanSuiteJSONFailuresPresent(t *testing.T) {
 	s := quickSuite(t)
 	var b bytes.Buffer
-	if err := s.WriteJSON(&b, time.Second, true); err != nil {
+	if err := s.WriteJSON(&b, time.Second, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), `"failures": []`) {

@@ -15,16 +15,19 @@ import (
 // trajectory: the wall-clock and cycle-model costs plus the dispatch
 // counts future PRs diff against to catch regressions.
 type JSONResult struct {
-	Benchmark         string `json:"benchmark"`
-	Config            string `json:"config"`
-	WallNS            int64  `json:"wall_ns"`
-	Cycles            uint64 `json:"cycles"`
-	Dispatches        uint64 `json:"dispatches"`
-	VersionSelects    uint64 `json:"version_selects"`
-	DynamicDispatches uint64 `json:"dynamic_dispatches"`
-	StaticVersions    int    `json:"static_versions"`
-	InvokedVersions   int    `json:"invoked_versions"`
-	IRNodes           int    `json:"ir_nodes"`
+	Benchmark         string  `json:"benchmark"`
+	Config            string  `json:"config"`
+	Engine            string  `json:"engine"` // tier that actually ran this cell
+	WallNS            int64   `json:"wall_ns"`
+	Steps             uint64  `json:"steps"`
+	StepsPerSec       float64 `json:"steps_per_sec"`
+	Cycles            uint64  `json:"cycles"`
+	Dispatches        uint64  `json:"dispatches"`
+	VersionSelects    uint64  `json:"version_selects"`
+	DynamicDispatches uint64  `json:"dynamic_dispatches"`
+	StaticVersions    int     `json:"static_versions"`
+	InvokedVersions   int     `json:"invoked_versions"`
+	IRNodes           int     `json:"ir_nodes"`
 }
 
 // JSONMetric is one observability counter in the trajectory's metrics
@@ -60,6 +63,7 @@ type JSONTrajectory struct {
 	SuiteWallNS int64        `json:"suite_wall_ns"` // end-to-end RunSuite wall time
 	Workers     int          `json:"workers"`       // GOMAXPROCS during the run
 	Quick       bool         `json:"quick"`
+	Reps        int          `json:"reps"` // best-of-N wall per cell (0/1 = single shot)
 	Results     []JSONResult `json:"results"`
 	Failures    []Failure    `json:"failures"`
 	Metrics     []JSONMetric `json:"metrics"`
@@ -68,11 +72,12 @@ type JSONTrajectory struct {
 // WriteJSON emits the machine-readable perf trajectory for the suite,
 // rows in Table-2 × Configs order (deterministic apart from the wall
 // times themselves).
-func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool) error {
+func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool, reps int) error {
 	t := JSONTrajectory{
 		SuiteWallNS: suiteWall.Nanoseconds(),
 		Workers:     runtime.GOMAXPROCS(0),
 		Quick:       quick,
+		Reps:        reps,
 		Failures:    append([]Failure{}, s.Failures...),    // non-null even when empty
 		Metrics:     append([]JSONMetric{}, s.Metrics...), // likewise
 	}
@@ -85,7 +90,10 @@ func (s *Suite) WriteJSON(w io.Writer, suiteWall time.Duration, quick bool) erro
 			t.Results = append(t.Results, JSONResult{
 				Benchmark:         name,
 				Config:            cfg.String(),
+				Engine:            r.Engine.String(),
 				WallNS:            r.Wall.Nanoseconds(),
+				Steps:             r.Steps,
+				StepsPerSec:       r.StepsPerSec(),
 				Cycles:            r.Cycles,
 				Dispatches:        r.Dispatches,
 				VersionSelects:    r.VersionSelects,

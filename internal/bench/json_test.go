@@ -65,7 +65,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var first bytes.Buffer
-			if err := tc.suite.WriteJSON(&first, 1234*time.Millisecond, true); err != nil {
+			if err := tc.suite.WriteJSON(&first, 1234*time.Millisecond, true, 1); err != nil {
 				t.Fatal(err)
 			}
 

@@ -128,6 +128,33 @@ func (p *PIC) Lookup(classes []*hier.Class) (Target, bool) {
 	return Target{}, false
 }
 
+// Entry exposes the i'th cache entry (tuple and target) for engines
+// that mirror the cache's hottest entries into faster structures; ok
+// is false past the live entries. The returned tuple slice is owned by
+// the PIC and must not be mutated.
+func (p *PIC) Entry(i int) ([]*hier.Class, Target, bool) {
+	if i < 0 || i >= len(p.entries) {
+		return nil, Target{}, false
+	}
+	return p.entries[i].classes, p.entries[i].target, true
+}
+
+// PromoteAt replays the bookkeeping of a Lookup that matched entry i
+// (i >= 1) — hit counters, promotion counter, and the move-to-front
+// that preserves the relative order of the entries it displaces — for
+// an engine-side cache that matched a mirrored entry itself. The caller
+// guarantees the cache currently has more than i entries and that entry
+// i is the matched one, so PIC state stays identical to a run that took
+// Lookup.
+func (p *PIC) PromoteAt(i int) {
+	e := p.entries[i]
+	copy(p.entries[1:i+1], p.entries[:i])
+	p.entries[0] = e
+	p.Hits++
+	p.M.Hits.Inc()
+	p.M.Promotions.Inc()
+}
+
 // Add inserts an entry unless the cache is megamorphic (full).
 func (p *PIC) Add(classes []*hier.Class, t Target) {
 	if len(p.entries) >= p.max {

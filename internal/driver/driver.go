@@ -18,6 +18,7 @@ import (
 	"selspec/internal/pipeline"
 	"selspec/internal/profile"
 	"selspec/internal/specialize"
+	"selspec/internal/vm"
 )
 
 // Pipeline holds a loaded program; one Pipeline can be compiled and run
@@ -91,6 +92,10 @@ type RunOptions struct {
 	// NewInstruments) and takes precedence over Metrics, keeping the
 	// registry mutex entirely off the per-request path.
 	Instruments *Instruments
+	// Engine selects the execution tier (default EngineVM, with
+	// automatic fallback to the tree interpreter when the bytecode
+	// compiler does not support a construct).
+	Engine Engine
 }
 
 // Instruments bundles the interpreter and dispatch-cache instruments
@@ -118,11 +123,13 @@ func NewInstruments(r *obs.Registry) *Instruments {
 // Result reports one execution.
 type Result struct {
 	Config   opt.Config
+	Engine   Engine // tier that actually ran (after any fallback)
 	Value    string
 	Output   string
 	Counters interp.Counters
 	Stats    opt.Stats
-	Invoked  int // distinct versions that ran
+	Invoked  int    // distinct versions that ran
+	Steps    uint64 // interpreter steps charged (engine-independent)
 	Wall     time.Duration
 }
 
@@ -176,19 +183,38 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 		defer restoreGlobals(c, saved)
 	}
 
+	engine := ro.Engine
+	var mach *vm.Machine
+	if engine == EngineVM {
+		var merr error
+		if mach, merr = vm.New(in); merr != nil {
+			// Unsupported construct: fall back to the tree tier. vm.New
+			// runs no guest code, so the fallback is side-effect free.
+			engine = EngineTree
+		}
+	}
+
 	start := time.Now()
-	val, err := pipeline.RunInterp("", c.Opts.Config.String(), in)
+	var val interp.Value
+	var err error
+	if engine == EngineVM {
+		val, err = pipeline.RunVM("", c.Opts.Config.String(), mach)
+	} else {
+		val, err = pipeline.RunInterp("", c.Opts.Config.String(), in)
+	}
 	wall := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Config:   c.Opts.Config,
+		Engine:   engine,
 		Value:    val.String(),
 		Output:   buf.String(),
 		Counters: in.Counters,
 		Stats:    c.Stats(),
 		Invoked:  in.InvokedVersions(),
+		Steps:    in.Steps(),
 		Wall:     wall,
 	}, nil
 }

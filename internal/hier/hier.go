@@ -208,6 +208,12 @@ type Hierarchy struct {
 	any        *Class
 	allClasses *bits.Set
 
+	// B caches the built-in class pointers. Runtime class computation
+	// (interp.Value.Class) sits on the dispatch hot path of both
+	// execution tiers, so it reads these fields instead of paying a
+	// name-map lookup per argument per send.
+	B Builtins
+
 	// applicableMu guards the ApplicableClasses memo: compilations of
 	// different configurations may share one frozen hierarchy across
 	// goroutines (the parallel benchmark harness does).
@@ -241,7 +247,22 @@ func New() *Hierarchy {
 			h.any = c
 		}
 	}
+	h.B = Builtins{
+		Any:     h.byName[AnyName],
+		Int:     h.byName[IntName],
+		Bool:    h.byName[BoolName],
+		String:  h.byName[StringName],
+		Nil:     h.byName[NilName],
+		Array:   h.byName[ArrayName],
+		Closure: h.byName[ClosureName],
+	}
 	return h
+}
+
+// Builtins holds the built-in class pointers, resolved once at
+// hierarchy construction.
+type Builtins struct {
+	Any, Int, Bool, String, Nil, Array, Closure *Class
 }
 
 // Any returns the root class.

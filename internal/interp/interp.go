@@ -149,11 +149,8 @@ type Interp struct {
 
 	Globals      []Value
 	globalsReady []bool
-	steps        uint64
-	depth        int      // current Mini-Cecil call depth
-	depthLimit   int      // resolved from DepthLimit at Run
-	callPos      lang.Pos // innermost call-site position, for faults with no node position
-	returning    bool     // a returnSignal unwind is in flight (see runBody)
+	g            Guard // step/depth/cancellation limits, shared with the VM tier
+	returning    bool  // a returnSignal unwind is in flight (see runBody)
 
 	pics     []*dispatch.PIC // per call-site ID
 	mmTables map[*hier.GF]*dispatch.MMTable
@@ -191,48 +188,21 @@ func failAt(pos lang.Pos, format string, args ...any) {
 	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
-// DefaultDepthLimit is the call-depth guard applied when
-// Interp.DepthLimit is zero. It is far above what the benchmarks need
-// but low enough that the Go stack frames behind each guest call stay
-// well under the runtime's stack ceiling.
-const DefaultDepthLimit = 10_000
-
-// ctxCheckInterval is how many interpreter steps pass between Ctx
-// polls: a power of two so the check is a mask, cheap enough to leave
-// in the hot step path.
-const ctxCheckInterval = 1024
-
 func (in *Interp) charge(c uint64) { in.Counters.Cycles += c }
 
-func (in *Interp) step() {
-	in.steps++
-	if in.StepLimit > 0 && in.steps > in.StepLimit {
-		fail("step limit exceeded (%d)", in.StepLimit)
-	}
-	if in.Ctx != nil && in.steps%ctxCheckInterval == 0 {
-		select {
-		case <-in.Ctx.Done():
-			failAt(in.callPos, "interpreter cancelled: %v", context.Cause(in.Ctx))
-		default:
-		}
-	}
-}
+// step, enter and leave delegate to the shared Guard (guard.go) so the
+// tree tier and the bytecode VM enforce byte-identical limits.
+func (in *Interp) step()             { in.g.Step() }
+func (in *Interp) enter(pos lang.Pos) { in.g.Enter(pos) }
+func (in *Interp) leave()            { in.g.Leave() }
 
-// enter charges one level of Mini-Cecil call depth, failing with a
-// positioned RuntimeError when the guard trips. pos is the call site
-// (zero for main). The matching leave must run on every exit path —
-// non-local returns unwind via panic, so callers pair it with defer.
-func (in *Interp) enter(pos lang.Pos) {
-	in.depth++
-	if in.depthLimit > 0 && in.depth > in.depthLimit {
-		failAt(pos, "call depth limit exceeded (%d)", in.depthLimit)
-	}
-	if pos.Line > 0 {
-		in.callPos = pos
-	}
-}
+// Guard exposes the interpreter's resource guard. The bytecode VM runs
+// against the same instance, so both tiers share one step budget, one
+// depth counter and one cancellation poll cadence.
+func (in *Interp) Guard() *Guard { return &in.g }
 
-func (in *Interp) leave() { in.depth-- }
+// Steps returns the interpreter steps charged so far (both tiers).
+func (in *Interp) Steps() uint64 { return in.g.Steps() }
 
 // Run initializes globals and invokes main(); it returns main's value.
 func (in *Interp) Run() (v Value, err error) {
@@ -253,12 +223,8 @@ func (in *Interp) Run() (v Value, err error) {
 		}
 	}()
 
-	in.depthLimit = in.DepthLimit
-	if in.depthLimit == 0 {
-		in.depthLimit = DefaultDepthLimit
-	}
+	in.g.Arm(in.StepLimit, in.DepthLimit, in.Ctx)
 	in.returning = false
-	in.depth = 0
 
 	in.Globals = make([]Value, len(in.C.GlobalInits))
 	in.globalsReady = make([]bool, len(in.C.GlobalInits))
@@ -289,7 +255,9 @@ func (in *Interp) invoke(v *ir.Version, args []Value, pos lang.Pos) Value {
 	if in.Profile != nil && len(args) > 0 {
 		in.Profile.RecordEntry(v.Method, in.classesOf(args, make([]*hier.Class, 0, len(args))))
 	}
-	in.invoked[v] = true
+	if !in.invoked[v] {
+		in.invoked[v] = true
+	}
 	in.Counters.MethodEntries++
 	in.charge(CostMethodEntry)
 	in.step()
@@ -346,8 +314,20 @@ func (in *Interp) classesOf(vals []Value, buf []*hier.Class) []*hier.Class {
 // dispatchSend performs dynamic dispatch for a send: lookup (via the
 // configured mechanism) plus specialized version selection.
 func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
-	in.Counters.Dispatches++
 	classes := in.classesOf(args, make([]*hier.Class, 0, len(args)))
+	return in.DispatchSendClasses(site, classes)
+}
+
+// DispatchSendClasses is the engine-shared core of dynamic dispatch:
+// given the already-computed argument classes for a send, it runs the
+// configured lookup mechanism, selects the specialized version, and
+// charges exactly the counters the tree interpreter always has. The
+// bytecode VM calls this with a reused scratch classes buffer — safe
+// because every structure fed from here (PIC entries, the hierarchy's
+// lookup cache, dispatch errors) copies or re-encodes the slice rather
+// than retaining it.
+func (in *Interp) DispatchSendClasses(site *ir.CallSite, classes []*hier.Class) *ir.Version {
+	in.Counters.Dispatches++
 
 	switch in.Mech {
 	case MechPIC:
@@ -363,7 +343,9 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 			in.Counters.PICHits++
 			in.charge(CostPICHit)
 			in.record(site, t.Method)
-			in.trace("pic-hit", site, t.Version)
+			if in.Trace != nil {
+				in.trace("pic-hit", site, t.Version)
+			}
 			return t.Version
 		}
 		in.Counters.PICMisses++
@@ -375,7 +357,9 @@ func (in *Interp) dispatchSend(site *ir.CallSite, args []Value) *ir.Version {
 		v := in.C.SelectVersion(m, classes)
 		pic.Add(classes, dispatch.Target{Method: m, Version: v})
 		in.record(site, m)
-		in.trace("lookup", site, v)
+		if in.Trace != nil {
+			in.trace("lookup", site, v)
+		}
 		return v
 
 	case MechGlobal:
@@ -724,7 +708,7 @@ func (in *Interp) eval(n ir.Node, fr *Frame, act *Activation) Value {
 	// positioned, recoverable RuntimeError (anchored at the innermost
 	// call site) rather than a bare Go panic string: the pipeline
 	// boundary reports file:line:col and the rest of a grid keeps going.
-	failAt(in.callPos, "internal error: unknown IR node %T", n)
+	failAt(in.g.callPos, "internal error: unknown IR node %T", n)
 	panic("unreachable")
 }
 

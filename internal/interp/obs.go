@@ -58,5 +58,5 @@ func (m *Metrics) flushRun(in *Interp) {
 	m.StaticCalls.Add(c.StaticCalls)
 	m.VersionSelects.Add(c.VersionSelects)
 	m.MethodEntries.Add(c.MethodEntries)
-	m.Steps.Add(in.steps)
+	m.Steps.Add(in.g.steps)
 }

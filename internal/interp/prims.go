@@ -109,7 +109,7 @@ func (in *Interp) evalPrim(p ir.Prim, args []Value) Value {
 	// Unknown primitives (a lowering/interpreter table mismatch) raise a
 	// positioned RuntimeError instead of a bare Go panic, so the fault
 	// is contained per compilation unit and reports file:line:col.
-	failAt(in.callPos, "internal error: unknown primitive %d", p)
+	failAt(in.g.callPos, "internal error: unknown primitive %d", p)
 	panic("unreachable")
 }
 

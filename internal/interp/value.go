@@ -124,19 +124,19 @@ func (v Value) Truthy() (bool, bool) {
 func (v Value) Class(h *hier.Hierarchy) *hier.Class {
 	switch v.K {
 	case KInt:
-		return h.Builtin(hier.IntName)
+		return h.B.Int
 	case KBool:
-		return h.Builtin(hier.BoolName)
+		return h.B.Bool
 	case KStr:
-		return h.Builtin(hier.StringName)
+		return h.B.String
 	case KObj:
 		return v.O.Class
 	case KClosure:
-		return h.Builtin(hier.ClosureName)
+		return h.B.Closure
 	case KArray:
-		return h.Builtin(hier.ArrayName)
+		return h.B.Array
 	default:
-		return h.Builtin(hier.NilName)
+		return h.B.Nil
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"selspec/internal/opt"
 	"selspec/internal/profile"
 	"selspec/internal/specialize"
+	"selspec/internal/vm"
 )
 
 // Stage names one pipeline stage for diagnostics.
@@ -218,6 +219,16 @@ func Specialize(label string, p *ir.Program, cg *profile.CallGraph, params speci
 func RunInterp(label, config string, in *interp.Interp) (interp.Value, error) {
 	return Guard(StageInterp, label, config, func() (interp.Value, error) {
 		return in.Run()
+	})
+}
+
+// RunVM executes a prepared bytecode machine inside the same boundary
+// (and under the same stage name) as RunInterp: the execution tier is
+// an implementation detail of the interp stage, so contained-fault
+// reports and stage metrics stay comparable across engines.
+func RunVM(label, config string, m *vm.Machine) (interp.Value, error) {
+	return Guard(StageInterp, label, config, func() (interp.Value, error) {
+		return m.Run()
 	})
 }
 

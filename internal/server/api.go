@@ -22,6 +22,10 @@ type RunRequest struct {
 	Config string `json:"config,omitempty"`
 	// Dispatch selects the dispatch mechanism (default PIC).
 	Dispatch string `json:"dispatch,omitempty"`
+	// Engine selects the execution engine ("vm", the default, or
+	// "tree"); vm falls back to tree per request on programs the
+	// bytecode compiler does not support.
+	Engine string `json:"engine,omitempty"`
 	// Threshold overrides the Selective specialization threshold.
 	Threshold int64 `json:"threshold,omitempty"`
 	// TimeoutMS lowers the per-request deadline below the server
@@ -49,6 +53,7 @@ type RunResponse struct {
 	Value  string    `json:"value"`
 	Output string    `json:"output"`
 	Config string    `json:"config"`
+	Engine string    `json:"engine"`
 	Stats  *RunStats `json:"stats,omitempty"`
 }
 

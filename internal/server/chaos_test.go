@@ -20,6 +20,11 @@ import (
 	"selspec/internal/pipeline"
 )
 
+// engineNamesForChaos alternates healthy storm requests between the
+// bytecode VM (the default) and the tree interpreter; results must be
+// byte-identical either way.
+var engineNamesForChaos = [2]string{"vm", "tree"}
+
 // chaosKind labels what a chaos request expects.
 type chaosKind int
 
@@ -116,6 +121,11 @@ func TestChaosStorm(t *testing.T) {
 			default:
 				req.Source = testProg
 				req.Config = cfgs[i%len(cfgs)].String()
+				// Healthy requests alternate execution engines: the
+				// admission path, breaker keys and one-shot expectations
+				// are engine-agnostic, so both must produce the same
+				// bytes under fire.
+				req.Engine = engineNamesForChaos[i%2]
 			}
 			code, _, data := post(t, ts, req)
 			o := outcome{code: code}
@@ -141,6 +151,10 @@ func TestChaosStorm(t *testing.T) {
 			if o.run.Value != want.value || o.run.Output != want.output {
 				t.Errorf("req-%d (healthy, %s): cross-request interference: got (%q, %q), one-shot (%q, %q)",
 					i, cfgs[i%len(cfgs)], o.run.Value, o.run.Output, want.value, want.output)
+			}
+			if o.run.Engine != engineNamesForChaos[i%2] {
+				t.Errorf("req-%d (healthy): engine = %q, requested %q",
+					i, o.run.Engine, engineNamesForChaos[i%2])
 			}
 		case chaosPanic:
 			wantPanics++

@@ -1,0 +1,80 @@
+package server
+
+// Engine selection over the wire: the service must honor the engine
+// field, echo which engine ran, produce byte-identical results (value,
+// output, and observability stats) under both tiers, and reject names
+// it does not know. The admission/breaker/drain machinery sits above
+// the engine, so everything else in the suite is engine-invariant.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"selspec/internal/opt"
+)
+
+func TestRunEngineParity(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	for _, cfg := range opt.Configs() {
+		var got [2]RunResponse
+		engines := []string{"tree", "vm"}
+		for j, eng := range engines {
+			code, _, data := post(t, ts, RunRequest{
+				Source: testProg,
+				Config: cfg.String(),
+				Engine: eng,
+				Stats:  true,
+			})
+			if code != http.StatusOK {
+				t.Fatalf("%s/%s: status %d: %s", cfg, eng, code, data)
+			}
+			got[j] = decodeRun(t, data)
+			if got[j].Engine != eng {
+				t.Errorf("%s: requested engine %q, response says %q", cfg, eng, got[j].Engine)
+			}
+		}
+		tree, vm := got[0], got[1]
+		if tree.Value != vm.Value || tree.Output != vm.Output {
+			t.Errorf("%s: engines diverged: tree (%q, %q), vm (%q, %q)",
+				cfg, tree.Value, tree.Output, vm.Value, vm.Output)
+		}
+		if tree.Stats == nil || vm.Stats == nil {
+			t.Fatalf("%s: missing stats: tree %v, vm %v", cfg, tree.Stats, vm.Stats)
+		}
+		// WallNS is the one legitimately engine-dependent stat.
+		ts, vs := *tree.Stats, *vm.Stats
+		ts.WallNS, vs.WallNS = 0, 0
+		if ts != vs {
+			t.Errorf("%s: stats diverged:\n  tree: %+v\n  vm:   %+v", cfg, ts, vs)
+		}
+	}
+}
+
+func TestRunEngineDefaultsToVM(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	code, _, data := post(t, ts, RunRequest{Source: testProg})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	if got := decodeRun(t, data); got.Engine != "vm" {
+		t.Errorf("default engine = %q, want \"vm\"", got.Engine)
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	code, _, data := post(t, ts, RunRequest{Source: testProg, Engine: "jit"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", code, data)
+	}
+	if eb := decodeErr(t, data); eb.Kind != KindBadRequest {
+		t.Errorf("kind = %q, want %q", eb.Kind, KindBadRequest)
+	}
+}

@@ -336,7 +336,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.breaker.record(rr.key, false)
 
-	resp := RunResponse{Value: res.Value, Output: res.Output, Config: rr.cfg.String()}
+	resp := RunResponse{Value: res.Value, Output: res.Output, Config: rr.cfg.String(), Engine: res.Engine.String()}
 	if req.Stats {
 		resp.Stats = &RunStats{
 			Dispatches:      res.Counters.Dispatches,
@@ -358,6 +358,7 @@ type resolved struct {
 	key         string // breaker key: hash of the program identity
 	cfg         opt.Config
 	mech        interp.Mechanism
+	engine      driver.Engine
 	threshold   int64
 	train, test map[string]int64
 	timeout     time.Duration
@@ -408,6 +409,12 @@ func (s *Server) resolve(req *RunRequest) (*resolved, error) {
 	}
 	rr.mech = mech
 
+	engine, err := driver.ParseEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	rr.engine = engine
+
 	if req.Threshold > 0 {
 		rr.threshold = req.Threshold
 	}
@@ -443,6 +450,7 @@ func (s *Server) execute(ctx context.Context, rr *resolved) (*driver.Result, err
 			StepLimit:     s.cfg.StepLimit,
 			DepthLimit:    s.cfg.DepthLimit,
 			Mechanism:     rr.mech,
+			Engine:        rr.engine,
 			CaptureOutput: true,
 			Instruments:   s.instruments,
 		}

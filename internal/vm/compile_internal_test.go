@@ -1,0 +1,175 @@
+package vm
+
+// White-box compiler tests: superinstruction selection, disassembly,
+// and the unsupported-construct error path that drives the driver's
+// tree-tier fallback.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"selspec/internal/ir"
+	"selspec/internal/lang"
+	"selspec/internal/opt"
+)
+
+func compileModule(t *testing.T, src string, cfg opt.Config) *Module {
+	t.Helper()
+	parsed, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(parsed)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	c, err := opt.Compile(prog, opt.Options{Config: cfg})
+	if err != nil {
+		t.Fatalf("opt: %v", err)
+	}
+	mod, err := newModule(c)
+	if err != nil {
+		t.Fatalf("vm compile: %v", err)
+	}
+	return mod
+}
+
+func allDisasm(mod *Module) string {
+	var b strings.Builder
+	for _, p := range mod.procs {
+		b.WriteString(p.Disasm())
+	}
+	for _, p := range mod.globalInits {
+		b.WriteString(p.Disasm())
+	}
+	return b.String()
+}
+
+const superSrc = `
+class P { field n : Int := 0; field k : Int := 0; }
+method bump(p@P, r@Int) {
+  var hits := 0;
+  var xs := newarray(4);
+  var i := 0;
+  while i < p.n {
+    aput(xs, i, i * 2);
+    if p.k >= r { hits := hits + aget(xs, i); }
+    i := i + 1;
+  }
+  hits := hits + p.n;
+  var neg := p.k >= 0;
+  var eq := p.k == r;
+  if neg { hits := hits + 1; }
+  if eq { hits := hits - 1; }
+  hits;
+}
+method main() { bump(new P(3, 5), 4); }
+`
+
+// TestSuperinstructionEmission pins the compiler's instruction
+// selection: each fused shape in the source must compile to its
+// superinstruction, not the generic sequence.
+func TestSuperinstructionEmission(t *testing.T) {
+	dis := allDisasm(compileModule(t, superSrc, opt.CHA))
+	for _, op := range []string{
+		"cmpbrfield", // while i < p.n
+		"aput",       // aput(xs, i, i*2), window-free
+		"aget",       // aget(xs, i), window-free
+		"bink",       // i := i + 1
+		"binfield",   // hits + p.n
+		"fieldbink",  // p.k >= 0
+		"fieldbin",   // p.k == r
+	} {
+		if !strings.Contains(dis, " "+op+" ") && !strings.Contains(dis, " "+op+"\n") &&
+			!strings.Contains(dis, op+" ") {
+			t.Errorf("disassembly is missing superinstruction %q:\n%s", op, dis)
+		}
+	}
+	// The fused shapes must not also appear unfused: no argument-window
+	// prim call remains for aget/aput in bump's body.
+	for _, p := range compileModule(t, superSrc, opt.CHA).procs {
+		if !strings.Contains(p.Name, "bump") {
+			continue
+		}
+		for _, i := range p.Code {
+			if i.Op == OpPrim && (ir.Prim(i.B) == ir.PrimAGet || ir.Prim(i.B) == ir.PrimAPut) {
+				t.Errorf("bump still holds a windowed aget/aput prim:\n%s", p.Disasm())
+			}
+		}
+	}
+}
+
+// TestDisasmRendersFusedOperands checks the disassembler's rendering of
+// the fused field ops (field name, operator, operand registers), which
+// DESIGN.md quotes.
+func TestDisasmRendersFusedOperands(t *testing.T) {
+	src := `
+class P { field n : Int := 0; }
+method pos(p@P) { p.n >= 0; }
+method main() { pos(new P(1)); }
+`
+	mod := compileModule(t, src, opt.CHA)
+	for _, p := range mod.procs {
+		if !strings.Contains(p.Name, "pos") {
+			continue
+		}
+		dis := p.Disasm()
+		if !strings.Contains(dis, "fieldbink") || !strings.Contains(dis, ".n >= 0") {
+			t.Errorf("fieldbink rendering missing from:\n%s", dis)
+		}
+		return
+	}
+	t.Fatal("proc for pos not found")
+}
+
+// TestCompileErrorUnsupported pins the fallback contract: an IR shape
+// the compiler does not know produces a *CompileError (which the driver
+// turns into a silent tree-tier fallback), never a panic.
+func TestCompileErrorUnsupported(t *testing.T) {
+	mod := compileModule(t, "method main() { 1; }", opt.Base)
+	_, err := mod.compile("bad", KindMethod, nil, 0)
+	var ce *CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("compiling an unknown node: got %v, want *CompileError", err)
+	}
+}
+
+// TestFusedArgSlotCapture pins the left-to-right capture rule: when a
+// later argument of a window-free primitive can write frame slots, an
+// earlier depth-0 local argument must be copied to a temporary rather
+// than read in place at execution time.
+func TestFusedArgSlotCapture(t *testing.T) {
+	src := `
+class C { }
+method clobber(c@C) { 1; }
+method main() {
+  var xs := newarray(3);
+  var i := 0;
+  aput(xs, i, clobber(new C()));
+  aget(xs, i);
+}
+`
+	mod := compileModule(t, src, opt.CHA)
+	for _, p := range mod.procs {
+		if !strings.Contains(p.Name, "main") {
+			continue
+		}
+		// The aput whose value operand is a send must snapshot i (an
+		// OpMove to a temp) before the send runs.
+		var sawAPut bool
+		for _, i := range p.Code {
+			if i.Op == OpAPut {
+				sawAPut = true
+				if i.C < int32(p.NumSlots) {
+					t.Errorf("aput index register r%d is a raw frame slot; want a temp snapshot:\n%s", i.C, p.Disasm())
+				}
+			}
+		}
+		if !sawAPut {
+			t.Fatalf("no OpAPut compiled:\n%s", p.Disasm())
+		}
+		return
+	}
+	t.Fatal("proc for main not found")
+}

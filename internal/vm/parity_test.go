@@ -1,0 +1,133 @@
+package vm_test
+
+// Black-box parity tests for behavior the big differential grid cannot
+// reach: resource-guard trips, runtime errors raised inside fused
+// superinstructions, and non-local returns — the two engines must agree
+// on the exact error text (or value) in every case.
+
+import (
+	"testing"
+
+	"selspec/internal/driver"
+	"selspec/internal/opt"
+)
+
+// runBoth executes src under both engines with the given guards and
+// returns (treeValue, treeErr, vmValue, vmErr). A vm-tier fallback to
+// tree (unsupported construct) fails the test: everything here must
+// actually execute as bytecode.
+func runBoth(t *testing.T, src string, step uint64, depth int) (string, error, string, error) {
+	t.Helper()
+	run := func(eng driver.Engine) (string, error) {
+		p, err := driver.Load(src)
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		res, rerr := p.RunConfig(driver.ConfigOptions{
+			Config: opt.CHA,
+			RunExtra: func(ro *driver.RunOptions) {
+				ro.CaptureOutput = true
+				ro.StepLimit = step
+				ro.DepthLimit = depth
+				ro.Engine = eng
+			},
+		})
+		if rerr != nil {
+			return "", rerr
+		}
+		if res.Engine != eng {
+			t.Fatalf("requested engine %v but %v ran (unexpected fallback)", eng, res.Engine)
+		}
+		return res.Value, nil
+	}
+	tv, te := run(driver.EngineTree)
+	vv, ve := run(driver.EngineVM)
+	return tv, te, vv, ve
+}
+
+func wantSameError(t *testing.T, name string, te, ve error) {
+	t.Helper()
+	if (te == nil) != (ve == nil) {
+		t.Fatalf("%s: error presence diverged: tree %v, vm %v", name, te, ve)
+	}
+	if te != nil && te.Error() != ve.Error() {
+		t.Errorf("%s: error text diverged:\n  tree: %s\n  vm:   %s", name, te, ve)
+	}
+}
+
+func TestGuardStepLimitParity(t *testing.T) {
+	_, te, _, ve := runBoth(t, `method main() { while true { 1; } }`, 10_000, 0)
+	if te == nil {
+		t.Fatal("step limit did not trip")
+	}
+	wantSameError(t, "step limit", te, ve)
+}
+
+func TestGuardDepthLimitParity(t *testing.T) {
+	_, te, _, ve := runBoth(t, `
+method f(n@Int) { f(n + 1); }
+method main() { f(0); }
+`, 0, 64)
+	if te == nil {
+		t.Fatal("depth limit did not trip")
+	}
+	wantSameError(t, "depth limit", te, ve)
+}
+
+// TestFusedFieldErrorParity drives the non-object failure through the
+// fused field-compare superinstructions: the error text must match the
+// tree tier's plain GetField failure exactly.
+func TestFusedFieldErrorParity(t *testing.T) {
+	_, te, _, ve := runBoth(t, `
+class P { field q : P; field n : Int := 0; }
+method probe(p@P) { p.q.n >= 0; }
+method main() { probe(new P()); }
+`, 0, 0)
+	if te == nil {
+		t.Fatal("expected a non-object field error")
+	}
+	wantSameError(t, "fused field read", te, ve)
+}
+
+// TestFusedArrayErrorParity drives out-of-bounds reads and writes
+// through OpAGet/OpAPut's cold path (the shared CallPrim seam).
+func TestFusedArrayErrorParity(t *testing.T) {
+	for name, src := range map[string]string{
+		"aget oob": `method main() { var xs := newarray(2); aget(xs, 5); }`,
+		"aput oob": `method main() { var xs := newarray(2); aput(xs, 7, 1); }`,
+		"aget nonarray": `method main() { aget(3, 0); }`,
+	} {
+		_, te, _, ve := runBoth(t, src, 0, 0)
+		if te == nil {
+			t.Fatalf("%s: expected a runtime error", name)
+		}
+		wantSameError(t, name, te, ve)
+	}
+}
+
+func TestNonLocalReturnParity(t *testing.T) {
+	tv, te, vv, ve := runBoth(t, `
+method outer(n@Int) {
+  var f := fn(x) { return x; };
+  f(n);
+  0;
+}
+method main() { outer(41); }
+`, 0, 0)
+	wantSameError(t, "non-local return", te, ve)
+	if tv != vv {
+		t.Errorf("non-local return value diverged: tree %s, vm %s", tv, vv)
+	}
+}
+
+func TestEscapedReturnErrorParity(t *testing.T) {
+	_, te, _, ve := runBoth(t, `
+var esc := 0;
+method trap() { esc := fn(x) { return x; }; 0; }
+method main() { trap(); esc(1); }
+`, 0, 0)
+	if te == nil {
+		t.Fatal("expected an escaped-return error")
+	}
+	wantSameError(t, "escaped return", te, ve)
+}
