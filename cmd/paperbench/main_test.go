@@ -87,6 +87,19 @@ func TestPaperbenchJSON(t *testing.T) {
 	}
 }
 
+// TestPaperbenchVerify: -verify runs the whole quick grid with the
+// bytecode verifier armed on every cell; any verifier rejection would
+// fail the suite.
+func TestPaperbenchVerify(t *testing.T) {
+	out, err := execMain(t, "-quick", "-verify", "-headline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Headline comparison") {
+		t.Fatalf("headline output:\n%s", out)
+	}
+}
+
 func TestPaperbenchFigures(t *testing.T) {
 	// One quick figure run exercises the suite plumbing end to end.
 	out, err := execMain(t, "-quick", "-figure", "5a")

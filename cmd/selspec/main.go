@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,10 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "selspec:", err)
+		var ec interface{ ExitCode() int }
+		if errors.As(err, &ec) {
+			os.Exit(ec.ExitCode())
+		}
 		os.Exit(1)
 	}
 }
@@ -71,6 +76,7 @@ func run() error {
 		retTypes   = flag.Bool("return-types", false, "enable return-value class propagation (paper §6 extension)")
 		rta        = flag.Bool("instantiation", false, "enable instantiation-aware (RTA-style) class analysis")
 		lazy       = flag.Bool("lazy", false, "lazy (dynamic) compilation: compile method versions on first invocation")
+		verify     = flag.Bool("verify", false, "run the bytecode verifier over every compiled proc before (and, for lazy configurations, after) execution")
 		stepLimit  = flag.Uint64("step-limit", 0, "abort after this many interpreter steps (0 = unlimited)")
 		depthLimit = flag.Int("depth-limit", 0, "abort beyond this call depth (0 = default limit, negative = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "abort after this wall-clock duration, e.g. 30s (0 = none)")
@@ -224,12 +230,19 @@ func run() error {
 
 	// Engine selection mirrors driver.Execute: the bytecode compiler
 	// runs no guest code, so falling back to the tree tier on an
-	// unsupported construct is side-effect free.
+	// unsupported construct is side-effect free. Under -verify the
+	// module is compiled and checked even when the tree tier will run.
 	var mach *vm.Machine
-	if engine == driver.EngineVM {
+	if engine == driver.EngineVM || *verify {
 		var merr error
 		if mach, merr = vm.New(in); merr != nil {
 			engine = driver.EngineTree
+			mach = nil
+		}
+	}
+	if *verify && mach != nil {
+		if err := pipeline.VerifyMachine(label, cfg.String(), mach); err != nil {
+			return err
 		}
 	}
 	var val interp.Value
@@ -241,6 +254,13 @@ func run() error {
 	}
 	if rerr != nil {
 		return rerr
+	}
+	// Lazy configurations compile procs during the run; re-verify so
+	// every specialized version that materialized is covered.
+	if *verify && engine == driver.EngineVM {
+		if err := pipeline.VerifyMachine(label, cfg.String(), mach); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("=> %s\n", val)
 
@@ -257,15 +277,37 @@ func run() error {
 	return nil
 }
 
+// findingsError reports that the analyses produced diagnostics — the
+// program is suspect, the analyzer is fine. Exit status 1.
+type findingsError struct{ n int }
+
+func (e *findingsError) Error() string {
+	return fmt.Sprintf("check: %d diagnostic%s", e.n, pluralS(e.n))
+}
+func (e *findingsError) ExitCode() int { return 1 }
+
+// checkInternalError reports that the analyzer itself failed (contained
+// panic, unreadable input mid-run, encoder failure) — distinct from
+// findings so CI can tell "program has issues" from "tool broke".
+// Exit status 2.
+type checkInternalError struct{ err error }
+
+func (e *checkInternalError) Error() string { return "check: internal error: " + e.err.Error() }
+func (e *checkInternalError) Unwrap() error { return e.err }
+func (e *checkInternalError) ExitCode() int { return 2 }
+
 // runCheck implements "selspec check": run the static analyses from
-// internal/check over files and/or an embedded benchmark, print the
-// diagnostics, and fail when any were found.
+// internal/check over files and/or an embedded benchmark, plus the
+// bytecode diagnostics from internal/vmcheck when the unit compiles,
+// print the diagnostics, and fail when any were found. Exit status: 0
+// clean, 1 findings, 2 internal analyzer error.
 func runCheck(args []string) error {
 	fs := flag.NewFlagSet("selspec check", flag.ContinueOnError)
 	var (
 		format    = fs.String("format", check.Formats()[0], "output format: "+strings.Join(check.Formats(), ", "))
 		inst      = fs.Bool("instantiation", true, "sharpen class sets with instantiation (RTA-style) analysis")
 		benchName = fs.String("bench", "", "check an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
+		bytecode  = fs.Bool("bytecode", true, "also run the bytecode-level checks (unreachable code, dead stores) over the compiled program")
 		list      = fs.Bool("checks", false, "list the available checks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -313,7 +355,14 @@ func runCheck(args []string) error {
 		// unit, instead of a crash that loses the other units' output.
 		ds, err := pipeline.CheckSource(u.label, u.src, opts)
 		if err != nil {
-			return err
+			return &checkInternalError{err}
+		}
+		if *bytecode {
+			bds, err := bytecodeDiagnostics(u.label, u.src, len(ds) > 0)
+			if err != nil {
+				return &checkInternalError{err}
+			}
+			ds = append(ds, bds...)
 		}
 		all = append(all, ds...)
 	}
@@ -326,12 +375,40 @@ func runCheck(args []string) error {
 		werr = check.WriteText(os.Stdout, all)
 	}
 	if werr != nil {
-		return werr
+		return &checkInternalError{werr}
 	}
 	if len(all) > 0 {
-		return fmt.Errorf("check: %d diagnostic%s", len(all), pluralS(len(all)))
+		return &findingsError{len(all)}
 	}
 	return nil
+}
+
+// bytecodeDiagnostics compiles one unit under Base and runs the
+// vm-level checks over the resulting module. Units the bytecode
+// compiler declines (tree-only constructs) are skipped, as is any
+// compilation failure on a unit the source-level analyses already
+// flagged; a failure on a unit they called clean is an internal error.
+func bytecodeDiagnostics(label, src string, hasSourceFindings bool) ([]check.Diagnostic, error) {
+	skip := func(err error) ([]check.Diagnostic, error) {
+		var ce *vm.CompileError
+		if errors.As(err, &ce) || hasSourceFindings {
+			return nil, nil
+		}
+		return nil, err
+	}
+	prog, err := pipeline.Load(label, src)
+	if err != nil {
+		return skip(err)
+	}
+	c, err := pipeline.Compile(label, prog, opt.Options{Config: opt.Base})
+	if err != nil {
+		return skip(err)
+	}
+	m, err := vm.New(interp.New(c))
+	if err != nil {
+		return skip(err)
+	}
+	return pipeline.CheckBytecode(label, m)
 }
 
 func pluralS(n int) string {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"selspec/internal/pipeline"
 )
 
 // execMain runs the CLI's run() with the given arguments, capturing
@@ -151,6 +154,25 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLIVerifyFlag: -verify accepts the compiled bytecode of a valid
+// program under every configuration and both engines (the tree engine
+// still compiles and verifies the module).
+func TestCLIVerifyFlag(t *testing.T) {
+	path := writeProg(t, cliProg)
+	for _, cfg := range []string{"Base", "Cust", "Cust-MM", "CHA", "Selective"} {
+		out, err := execMain(t, "-config", cfg, "-verify", path)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if !strings.Contains(out, "=> 15") {
+			t.Fatalf("%s: output %q", cfg, out)
+		}
+	}
+	if out, err := execMain(t, "-engine", "tree", "-verify", path); err != nil || !strings.Contains(out, "=> 15") {
+		t.Fatalf("tree engine: err=%v out=%q", err, out)
+	}
+}
+
 // --- "selspec check" subcommand -------------------------------------
 
 const brokenProg = `
@@ -175,10 +197,10 @@ func TestCLICheckClean(t *testing.T) {
 func TestCLICheckBroken(t *testing.T) {
 	path := writeProg(t, brokenProg)
 	out, err := execMain(t, "check", path)
-	if err == nil || !strings.Contains(err.Error(), "2 diagnostics") {
+	if err == nil || !strings.Contains(err.Error(), "3 diagnostics") {
 		t.Fatalf("err = %v", err)
 	}
-	for _, sub := range []string{"[possible-mnu]", "[dead-method]", "error: no applicable method"} {
+	for _, sub := range []string{"[possible-mnu]", "[dead-method]", "[vm-dead-store]", "error: no applicable method"} {
 		if !strings.Contains(out, sub) {
 			t.Errorf("output missing %q:\n%s", sub, out)
 		}
@@ -195,8 +217,8 @@ func TestCLICheckJSON(t *testing.T) {
 	if jerr := json.Unmarshal([]byte(out), &ds); jerr != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", jerr, out)
 	}
-	if len(ds) != 2 {
-		t.Fatalf("got %d diagnostics, want 2:\n%s", len(ds), out)
+	if len(ds) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(ds), out)
 	}
 	for _, d := range ds {
 		for _, key := range []string{"check", "severity", "file", "line", "col", "message"} {
@@ -225,6 +247,31 @@ func TestCLICheckList(t *testing.T) {
 		if !strings.Contains(out, id) {
 			t.Errorf("catalog output missing %s:\n%s", id, out)
 		}
+	}
+}
+
+// TestCLICheckExitCodes: findings exit 1, internal analyzer failures
+// exit 2 — CI tells "program has issues" from "tool broke" by status.
+func TestCLICheckExitCodes(t *testing.T) {
+	type exitCoder interface{ ExitCode() int }
+
+	path := writeProg(t, brokenProg)
+	_, err := execMain(t, "check", path)
+	var ec exitCoder
+	if !errors.As(err, &ec) || ec.ExitCode() != 1 {
+		t.Errorf("findings: err = %v, want exit code 1", err)
+	}
+
+	// Arm a deterministic fault inside the check stage: the contained
+	// panic must surface as an internal error, not as findings.
+	disarm := pipeline.ArmFaults(pipeline.NewInjector(1, pipeline.FaultRule{
+		Stage: pipeline.StageCheck, Action: pipeline.FaultPanic,
+	}))
+	defer disarm()
+	clean := writeProg(t, cliProg)
+	_, err = execMain(t, "check", clean)
+	if !errors.As(err, &ec) || ec.ExitCode() != 2 {
+		t.Errorf("internal fault: err = %v, want exit code 2", err)
 	}
 }
 

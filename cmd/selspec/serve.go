@@ -47,6 +47,7 @@ func runServe(args []string) error {
 		chaosSeed   = fs.Int64("chaos-seed", 1, "TESTING: PRNG seed for -chaos, for reproducible chaos runs")
 		metricsAddr = fs.String("metrics-addr", "", "additionally serve /metrics on this separate ops address (\"\" = main listener only)")
 		pprofOn     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr listener")
+		verify      = fs.Bool("verify", false, "run the bytecode verifier over every request's compiled module before execution")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +87,7 @@ func runServe(args []string) error {
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
 		Metrics:          reg,
+		Verify:           *verify,
 	})
 
 	if *metricsAddr != "" {

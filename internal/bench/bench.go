@@ -94,6 +94,11 @@ type Options struct {
 	// best-of-N is the standard way to report the run least perturbed by
 	// it. Profile collection (Selective) is never repeated.
 	Reps int
+	// Verify runs the bytecode verifier over every cell's compiled
+	// module before (and, for lazily-compiled configurations, after)
+	// execution. Verification happens outside the measured window, so
+	// reported walls are comparable with unverified runs.
+	Verify bool
 }
 
 // Fault injection for degradation tests goes through the pipeline
@@ -113,6 +118,7 @@ func (ho Options) runOptions(b programs.Benchmark, cfg opt.Config, overrides map
 		Context:    ho.Context,
 		Metrics:    ho.Metrics,
 		Engine:     ho.Engine,
+		Verify:     ho.Verify,
 	}
 	return ro
 }

@@ -44,13 +44,17 @@ const (
 	SevWarning Severity = "warning"
 )
 
-// Stable check identifiers.
+// Stable check identifiers. The vm-* checks are computed over compiled
+// bytecode by internal/vmcheck and merged into the same diagnostic
+// stream; their IDs live here so the catalog stays the single list.
 const (
 	CheckPossibleMNU   = "possible-mnu"
 	CheckAmbiguous     = "ambiguous-dispatch"
 	CheckDeadMethod    = "dead-method"
 	CheckArityMismatch = "arity-mismatch"
 	CheckUselessSpec   = "useless-specialization"
+	CheckVMUnreachable = "vm-unreachable-code"
+	CheckVMDeadStore   = "vm-dead-store"
 )
 
 // Info describes one analysis in the catalog.
@@ -68,6 +72,8 @@ func Catalog() []Info {
 		{CheckDeadMethod, "method unreachable from the program's entry points under RTA"},
 		{CheckArityMismatch, "send whose argument count matches no defined method or primitive"},
 		{CheckUselessSpec, "declared specialization whose class-set tuple is empty or subsumed"},
+		{CheckVMUnreachable, "compiled bytecode no path from entry reaches (code after an unconditional return)"},
+		{CheckVMDeadStore, "frame-slot write in compiled bytecode that no path ever reads back"},
 	}
 }
 

@@ -7,6 +7,7 @@ package driver
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -96,6 +97,14 @@ type RunOptions struct {
 	// automatic fallback to the tree interpreter when the bytecode
 	// compiler does not support a construct).
 	Engine Engine
+	// Verify runs the bytecode verifier (internal/vmcheck) over every
+	// compiled proc before execution, and — for the VM engine — again
+	// after the run so lazily compiled procs are covered too. A verifier
+	// finding aborts the run with a positioned *pipeline.StageError.
+	// When the tree engine is selected the bytecode module is still
+	// compiled and verified (skipped only if the compiler declines the
+	// program entirely).
+	Verify bool
 }
 
 // Instruments bundles the interpreter and dispatch-cache instruments
@@ -108,6 +117,26 @@ type RunOptions struct {
 type Instruments struct {
 	Interp *interp.Metrics
 	Lookup *hier.LookupMetrics
+	// FallbackUnsupported/FallbackInternal count silent vm→tree engine
+	// fallbacks by reason (series of selspec_vm_fallback_total): the
+	// bytecode compiler declining a construct vs. any other failure to
+	// build the machine. Without these the fallback is invisible — a
+	// benchmark could quietly measure the tree tier.
+	FallbackUnsupported *obs.Counter
+	FallbackInternal    *obs.Counter
+}
+
+// NoteVMFallback records one vm→tree fallback, classified by cause.
+func (ins *Instruments) NoteVMFallback(err error) {
+	if ins == nil {
+		return
+	}
+	var ce *vm.CompileError
+	if errors.As(err, &ce) {
+		ins.FallbackUnsupported.Inc()
+	} else {
+		ins.FallbackInternal.Inc()
+	}
 }
 
 // NewInstruments registers (idempotently) the interpreter and
@@ -117,7 +146,12 @@ func NewInstruments(r *obs.Registry) *Instruments {
 	if r == nil {
 		return nil
 	}
-	return &Instruments{Interp: interp.NewMetrics(r), Lookup: hier.NewLookupMetrics(r)}
+	return &Instruments{
+		Interp:              interp.NewMetrics(r),
+		Lookup:              hier.NewLookupMetrics(r),
+		FallbackUnsupported: r.Counter("selspec_vm_fallback_total", obs.Label{Key: "reason", Value: "unsupported-node"}),
+		FallbackInternal:    r.Counter("selspec_vm_fallback_total", obs.Label{Key: "reason", Value: "internal"}),
+	}
 }
 
 // Result reports one execution.
@@ -185,12 +219,24 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 
 	engine := ro.Engine
 	var mach *vm.Machine
-	if engine == EngineVM {
+	if engine == EngineVM || ro.Verify {
 		var merr error
 		if mach, merr = vm.New(in); merr != nil {
 			// Unsupported construct: fall back to the tree tier. vm.New
-			// runs no guest code, so the fallback is side-effect free.
-			engine = EngineTree
+			// runs no guest code, so the fallback is side-effect free —
+			// but counted, so a benchmark can never quietly measure the
+			// wrong tier. Under Verify with the tree engine selected
+			// there is simply nothing compiled to verify.
+			if engine == EngineVM {
+				ins.NoteVMFallback(merr)
+				engine = EngineTree
+			}
+			mach = nil
+		}
+	}
+	if ro.Verify && mach != nil {
+		if verr := pipeline.VerifyMachine("", c.Opts.Config.String(), mach); verr != nil {
+			return nil, verr
 		}
 	}
 
@@ -205,6 +251,13 @@ func Execute(c *opt.Compiled, ro RunOptions) (*Result, error) {
 	wall := time.Since(start)
 	if err != nil {
 		return nil, err
+	}
+	// Lazy configurations compile procs mid-run; re-verify so every
+	// specialized version that executed has been checked.
+	if ro.Verify && engine == EngineVM {
+		if verr := pipeline.VerifyMachine("", c.Opts.Config.String(), mach); verr != nil {
+			return nil, verr
+		}
 	}
 	return &Result{
 		Config:   c.Opts.Config,

@@ -34,6 +34,7 @@ import (
 	"selspec/internal/profile"
 	"selspec/internal/specialize"
 	"selspec/internal/vm"
+	"selspec/internal/vmcheck"
 )
 
 // Stage names one pipeline stage for diagnostics.
@@ -49,6 +50,10 @@ const (
 	StageCompile    Stage = "compile"
 	StageInterp     Stage = "interp"
 	StageCheck      Stage = "check"
+	// StageVerify is the load-time bytecode verifier (internal/vmcheck)
+	// run over a compiled machine before (and, for lazily compiling
+	// configurations, after) execution.
+	StageVerify Stage = "verify"
 	// StageHarness is the experiment harness itself: the outermost
 	// per-cell guard in a benchmark grid, catching faults in harness
 	// code and caller-supplied hooks that no inner stage boundary saw.
@@ -238,5 +243,31 @@ func RunVM(label, config string, m *vm.Machine) (interp.Value, error) {
 func CheckSource(label, src string, opts check.Options) ([]check.Diagnostic, error) {
 	return Guard(StageCheck, label, "", func() ([]check.Diagnostic, error) {
 		return check.Source(label, src, opts)
+	})
+}
+
+// VerifyMachine runs the bytecode verifier over every proc the machine
+// has compiled so far, inside the boundary. A verifier finding comes
+// back as a positioned, stage-attributed *StageError wrapping the
+// *vmcheck.Error.
+func VerifyMachine(label, config string, m *vm.Machine) error {
+	_, err := Guard(StageVerify, label, config, func() (struct{}, error) {
+		return struct{}{}, vmcheck.Verify(m)
+	})
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: StageVerify, Program: label, Config: config, Pos: posOf(err), Err: err}
+}
+
+// CheckBytecode runs the post-compile bytecode diagnostics (unreachable
+// code, dead stores) over a compiled machine inside the boundary.
+func CheckBytecode(label string, m *vm.Machine) ([]check.Diagnostic, error) {
+	return Guard(StageCheck, label, "", func() ([]check.Diagnostic, error) {
+		return vmcheck.Diagnose(m, label), nil
 	})
 }

@@ -82,6 +82,12 @@ type Config struct {
 	// control and keeps answering during a drain, so operators can
 	// watch a wind-down. Nil (the default) disables the endpoint.
 	Metrics *obs.Registry
+	// Verify runs the bytecode verifier over every request's compiled
+	// module before execution (and again after lazy runs): a defense
+	// layer for a service executing untrusted source through the
+	// bytecode tier. A verifier finding fails the request like any
+	// other contained pipeline fault.
+	Verify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -453,6 +459,7 @@ func (s *Server) execute(ctx context.Context, rr *resolved) (*driver.Result, err
 			Engine:        rr.engine,
 			CaptureOutput: true,
 			Instruments:   s.instruments,
+			Verify:        s.cfg.Verify,
 		}
 
 		oo := opt.Options{Config: rr.cfg}

@@ -126,6 +126,26 @@ func TestRunAllConfigsMatchesOneShot(t *testing.T) {
 	}
 }
 
+// TestRunWithVerify: a server configured with Verify runs the bytecode
+// verifier on every request's compiled module and still serves the same
+// answers under every configuration.
+func TestRunWithVerify(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Verify: true}).Handler())
+	defer ts.Close()
+
+	for _, cfg := range opt.Configs() {
+		code, _, data := post(t, ts, RunRequest{Source: testProg, Config: cfg.String()})
+		if code != http.StatusOK {
+			t.Fatalf("%v: status %d: %s", cfg, code, data)
+		}
+		got := decodeRun(t, data)
+		want := oneShot(t, testProg, cfg)
+		if got.Value != want.Value || got.Output != want.Output {
+			t.Errorf("%v: verified run (%q, %q), one-shot (%q, %q)", cfg, got.Value, got.Output, want.Value, want.Output)
+		}
+	}
+}
+
 func TestRunBenchmark(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()

@@ -64,6 +64,8 @@ const (
 	OpStep
 	// OpCharge adds A to the cycle counter (hoisted constant costs,
 	// e.g. New's base+fields charge which precedes argument evaluation).
+	// B is ignored by the machine; for a New charge it records the News
+	// index so the verifier can pair each OpNew with its charge.
 	OpCharge
 	// OpGetUp: regs[A] = slot C of the frame B static-chain hops out
 	// (B >= 1; depth-0 locals are registers and compile to no code).

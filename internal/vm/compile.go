@@ -115,6 +115,7 @@ func (mod *Module) compile(name string, kind ProcKind, body ir.Node, numSlots in
 			Kind:     kind,
 			NumSlots: numSlots,
 		},
+		eff:  analyzeEffects(body),
 		next: int32(numSlots),
 		max:  int32(numSlots),
 	}
@@ -134,6 +135,7 @@ func (mod *Module) compile(name string, kind ProcKind, body ir.Node, numSlots in
 type compiler struct {
 	mod  *Module
 	p    *Proc
+	eff  *effects
 	next int32 // next free temp register
 	max  int32
 	err  error
@@ -311,29 +313,20 @@ func (c *compiler) argWindow(args []ir.Node) int32 {
 	return base
 }
 
-// effectFree reports that evaluating n emits no code (a constant load
-// folds into its use; a depth-0 local is already a register).
-func effectFree(n ir.Node) bool {
-	switch n := n.(type) {
-	case *ir.Const:
-		return true
-	case *ir.Local:
-		return n.Depth == 0
-	}
-	return false
-}
-
-// fusedArg compiles one argument of a window-free fused primitive and
-// returns its register. Unlike an argument window, the fused op reads
-// its operand registers at execution time — after every argument has
-// evaluated — so a depth-0 local is used in place only when no later
-// argument emits code; otherwise the slot's current value is copied to
-// a temporary, which later argument code cannot write. That preserves
-// the tree tier's left-to-right value capture exactly.
-func (c *compiler) fusedArg(a ir.Node, later []ir.Node) int32 {
+// captured compiles operand a for an instruction that reads its operand
+// registers at execution time — after the nodes in `later` have
+// evaluated. A depth-0 local is used in place (its slot register, no
+// code) unless the effect analysis says some later node may write that
+// slot, in which case the slot's current value is snapshotted into a
+// temporary first. Later code cannot touch the temporary (stack
+// discipline: subsequent evaluation writes only fresh, higher temps,
+// argument windows, and slots), so this preserves the tree tier's
+// left-to-right value capture exactly — with a copy only where the
+// analysis proves one is needed.
+func (c *compiler) captured(a ir.Node, later ...ir.Node) int32 {
 	if l, ok := a.(*ir.Local); ok && l.Depth == 0 {
 		for _, n := range later {
-			if !effectFree(n) {
+			if c.eff.mayWriteSlot(n, l.Slot) {
 				t := c.temp()
 				c.emit(OpMove, t, int32(l.Slot), 0, 0)
 				return t
@@ -369,7 +362,7 @@ func isCompare(op ir.BinOp) bool {
 func (c *compiler) cond(n ir.Node, msg int32) int32 {
 	if b, ok := n.(*ir.Bin); ok && isCompare(b.Op) {
 		mark := c.save()
-		l := c.operand(b.L)
+		l := c.captured(b.L, b.R)
 		if gf, ok := b.R.(*ir.GetField); ok && gf.Slot >= 0 {
 			obj := c.operand(gf.Obj)
 			pc := c.emit(OpCmpBrField, l, obj, 0, c.fieldOp(gf, b.Op))
@@ -444,7 +437,9 @@ func (c *compiler) into(n ir.Node, dest int32) {
 
 	case *ir.SetField:
 		mark := c.save()
-		obj := c.operand(n.Obj)
+		// The store reads the object register after the value evaluates;
+		// snapshot a slot-resident object the value expression may clobber.
+		obj := c.captured(n.Obj, n.X)
 		c.into(n.X, dest)
 		if n.Slot >= 0 {
 			c.emit(OpSetField, obj, dest, int32(n.Slot), c.name(n.Name))
@@ -500,12 +495,15 @@ func (c *compiler) into(n ir.Node, dest int32) {
 
 	case *ir.New:
 		mark := c.save()
-		// The tree tier charges construction before evaluating field
-		// arguments; keep that order so a guard trip lands identically.
-		c.emit(OpCharge, int32(interp.CostNewBase+len(n.Class.Fields)), 0, 0, 0)
-		base := c.argWindow(n.Args)
 		cls := int32(len(c.p.News))
 		c.p.News = append(c.p.News, NewRef{Class: n.Class, inits: c.mod.fieldInits[n.Class]})
+		// The tree tier charges construction before evaluating field
+		// arguments; keep that order so a guard trip lands identically.
+		// B records the News index the charge belongs to (ignored by the
+		// machine) so the verifier can pair each OpNew with the OpCharge
+		// that accounts for it.
+		c.emit(OpCharge, int32(interp.CostNewBase+len(n.Class.Fields)), cls, 0, 0)
+		base := c.argWindow(n.Args)
 		c.emit(OpNew, dest, cls, base, int32(len(n.Args)))
 		c.restore(mark)
 
@@ -521,7 +519,9 @@ func (c *compiler) into(n ir.Node, dest int32) {
 
 	case *ir.CallClosure:
 		mark := c.save()
-		fn := c.operand(n.Fn)
+		// The call reads the closure register after the arguments
+		// evaluate; snapshot a slot-resident closure they may overwrite.
+		fn := c.captured(n.Fn, n.Args...)
 		pos := int32(len(c.p.Poss))
 		c.p.Poss = append(c.p.Poss, n.Pos)
 		c.emit(OpCheckClosure, fn, int32(len(n.Args)), pos, 0)
@@ -556,9 +556,11 @@ func (c *compiler) into(n ir.Node, dest int32) {
 	case *ir.Bin:
 		mark := c.save()
 		// `obj.field <op> x` fuses the field read into the primitive when
-		// the right operand is effect-free (constant or depth-0 local), so
-		// the observable order — object eval, field charge, bin charge —
-		// is the unfused sequence exactly. The mirrored `x <op> obj.field`
+		// the right operand is a constant or a depth-0 local, so the
+		// observable order — object eval, field charge, bin charge — is
+		// the unfused sequence exactly. An in-place slot as the right
+		// operand is always safe here: both tiers read the slot after the
+		// object expression has evaluated. The mirrored `x <op> obj.field`
 		// shape fuses unconditionally: the left operand compiles first,
 		// which is already the tree tier's evaluation order.
 		if gf, ok := n.L.(*ir.GetField); ok && gf.Slot >= 0 {
@@ -575,7 +577,7 @@ func (c *compiler) into(n ir.Node, dest int32) {
 				return
 			}
 		}
-		l := c.operand(n.L)
+		l := c.captured(n.L, n.R)
 		if k, ok := n.R.(*ir.Const); ok {
 			c.emit(OpBinK, dest, l, c.konst(constValue(k)), int32(n.Op))
 		} else if gf, ok := n.R.(*ir.GetField); ok && gf.Slot >= 0 {
@@ -601,13 +603,13 @@ func (c *compiler) into(n ir.Node, dest int32) {
 		mark := c.save()
 		switch {
 		case n.Prim == ir.PrimAGet && len(n.Args) == 2:
-			a := c.fusedArg(n.Args[0], n.Args[1:])
-			ix := c.fusedArg(n.Args[1], nil)
+			a := c.captured(n.Args[0], n.Args[1])
+			ix := c.captured(n.Args[1])
 			c.emit(OpAGet, dest, a, ix, 0)
 		case n.Prim == ir.PrimAPut && len(n.Args) == 3:
-			a := c.fusedArg(n.Args[0], n.Args[1:])
-			ix := c.fusedArg(n.Args[1], n.Args[2:])
-			v := c.fusedArg(n.Args[2], nil)
+			a := c.captured(n.Args[0], n.Args[1], n.Args[2])
+			ix := c.captured(n.Args[1], n.Args[2])
+			v := c.captured(n.Args[2])
 			c.emit(OpAPut, dest, a, ix, v)
 		default:
 			base := c.argWindow(n.Args)

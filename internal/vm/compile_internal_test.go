@@ -135,12 +135,42 @@ func TestCompileErrorUnsupported(t *testing.T) {
 	}
 }
 
-// TestFusedArgSlotCapture pins the left-to-right capture rule: when a
-// later argument of a window-free primitive can write frame slots, an
-// earlier depth-0 local argument must be copied to a temporary rather
-// than read in place at execution time.
+// findProc returns the first eagerly compiled version proc whose name
+// contains sub.
+func findProc(t *testing.T, mod *Module, sub string) *Proc {
+	t.Helper()
+	for _, p := range mod.procs {
+		if strings.Contains(p.Name, sub) {
+			return p
+		}
+	}
+	t.Fatalf("proc for %q not found", sub)
+	return nil
+}
+
+// TestFusedArgSlotCapture pins the effect-analysis capture rule for
+// instructions that read their operand registers at execution time:
+// a depth-0 local operand is snapshotted to a temporary exactly when a
+// later operand may write its slot — which requires both a call in the
+// later operand and a closure in the proc (a closure-free frame is
+// unreachable from callees). The old syntactic rule copied whenever any
+// later operand emitted code; the in-place cases below would have
+// copied under it.
 func TestFusedArgSlotCapture(t *testing.T) {
-	src := `
+	aputIndexReg := func(p *Proc) int32 {
+		t.Helper()
+		for _, i := range p.Code {
+			if i.Op == OpAPut {
+				return i.C
+			}
+		}
+		t.Fatalf("no OpAPut compiled:\n%s", p.Disasm())
+		return -1
+	}
+
+	// Closure-free proc: the send cannot reach main's frame, so the
+	// index slot is read in place — no snapshot move.
+	inPlace := `
 class C { }
 method clobber(c@C) { 1; }
 method main() {
@@ -150,26 +180,27 @@ method main() {
   aget(xs, i);
 }
 `
-	mod := compileModule(t, src, opt.CHA)
-	for _, p := range mod.procs {
-		if !strings.Contains(p.Name, "main") {
-			continue
-		}
-		// The aput whose value operand is a send must snapshot i (an
-		// OpMove to a temp) before the send runs.
-		var sawAPut bool
-		for _, i := range p.Code {
-			if i.Op == OpAPut {
-				sawAPut = true
-				if i.C < int32(p.NumSlots) {
-					t.Errorf("aput index register r%d is a raw frame slot; want a temp snapshot:\n%s", i.C, p.Disasm())
-				}
-			}
-		}
-		if !sawAPut {
-			t.Fatalf("no OpAPut compiled:\n%s", p.Disasm())
-		}
-		return
+	mod := compileModule(t, inPlace, opt.CHA)
+	p := findProc(t, mod, "main")
+	if r := aputIndexReg(p); r >= int32(p.NumSlots) {
+		t.Errorf("closure-free proc: aput index register r%d is a temp; want the raw frame slot:\n%s", r, p.Disasm())
 	}
-	t.Fatal("proc for main not found")
+
+	// Proc that creates a closure: a closure call in a later operand can
+	// write the index slot, so its value must be snapshotted to a temp
+	// before the call runs.
+	capture := `
+method main() {
+  var xs := newarray(3);
+  var i := 0;
+  var f := fn() { i := 2; 0; };
+  aput(xs, i, f());
+  aget(xs, i);
+}
+`
+	mod = compileModule(t, capture, opt.CHA)
+	p = findProc(t, mod, "main")
+	if r := aputIndexReg(p); r < int32(p.NumSlots) {
+		t.Errorf("closure-capturing proc: aput index register r%d is a raw frame slot; want a temp snapshot:\n%s", r, p.Disasm())
+	}
 }

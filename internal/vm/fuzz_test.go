@@ -20,14 +20,16 @@ import (
 	"selspec/internal/lang"
 	"selspec/internal/opt"
 	"selspec/internal/vm"
+	"selspec/internal/vmcheck"
 )
 
 type diffOutcome struct {
-	val      string
-	errMsg   string
-	output   string
-	counters interp.Counters
-	steps    uint64
+	val       string
+	errMsg    string
+	output    string
+	counters  interp.Counters
+	steps     uint64
+	verifyErr error
 }
 
 // runDiffEngine compiles src fresh (its own hierarchy and lookup
@@ -57,20 +59,29 @@ func runDiffEngine(src string, cfg opt.Config, useVM bool, ctx context.Context) 
 
 	var val interp.Value
 	var rerr error
+	var verr error
 	if useVM {
 		m, merr := vm.New(in)
 		if merr != nil {
 			return diffOutcome{}, false
 		}
+		// Every compiled module the fuzzer reaches must pass the
+		// bytecode verifier — before the run, and again after it so
+		// lazily-compiled procs are covered too.
+		verr = vmcheck.Verify(m)
 		val, rerr = m.Run()
+		if verr == nil {
+			verr = vmcheck.Verify(m)
+		}
 	} else {
 		val, rerr = in.Run()
 	}
 	out := diffOutcome{
-		val:      val.String(),
-		output:   buf.String(),
-		counters: in.Counters,
-		steps:    in.Steps(),
+		val:       val.String(),
+		output:    buf.String(),
+		counters:  in.Counters,
+		steps:     in.Steps(),
+		verifyErr: verr,
 	}
 	if rerr != nil {
 		out.errMsg = rerr.Error()
@@ -92,6 +103,7 @@ func FuzzVMDiff(f *testing.F) {
 		"var g := 2;\nmethod main() { g := g + 3; println(g); g; }",
 		"class P { field q : P; field n : Int := 0; }\nmethod probe(p@P) { p.q.n >= 0; }\nmethod main() { probe(new P()); }",
 		"method main() { var xs := newarray(2); aget(xs, 9); }",
+		"method main() { var i := 1; var f := fn() { i := 8; 0; }; println(i + f()); i; }",
 	} {
 		f.Add(s)
 	}
@@ -117,6 +129,9 @@ func FuzzVMDiff(f *testing.F) {
 			// two runs may legitimately stop at different points.
 			if ctx.Err() != nil {
 				return
+			}
+			if vmres.verifyErr != nil {
+				t.Errorf("%v: compiled module failed verification: %v", cfg, vmres.verifyErr)
 			}
 			if vmres.val != tree.val {
 				t.Errorf("%v: value diverged: vm %q, tree %q", cfg, vmres.val, tree.val)

@@ -38,7 +38,9 @@ func runBoth(t *testing.T, src string, step uint64, depth int) (string, error, s
 		if res.Engine != eng {
 			t.Fatalf("requested engine %v but %v ran (unexpected fallback)", eng, res.Engine)
 		}
-		return res.Value, nil
+		// Value and captured print output together: divergence in either
+		// is a parity failure.
+		return res.Value + "\n--\n" + res.Output, nil
 	}
 	tv, te := run(driver.EngineTree)
 	vv, ve := run(driver.EngineVM)
@@ -117,6 +119,73 @@ method main() { outer(41); }
 	wantSameError(t, "non-local return", te, ve)
 	if tv != vv {
 		t.Errorf("non-local return value diverged: tree %s, vm %s", tv, vv)
+	}
+}
+
+// TestSlotCaptureAcrossClosureCallParity pins the left-to-right value
+// capture the effect analysis enforces: when an operand already read
+// from a frame slot is clobbered by a closure call in a later operand,
+// the instruction must see the slot's OLD value, as the tree tier does.
+// Before the effect-analysis rewire these diverged (the VM read the
+// slot register in place at execution time): the `bin` shape printed 9
+// under the VM and 1 under the tree.
+func TestSlotCaptureAcrossClosureCallParity(t *testing.T) {
+	for name, src := range map[string]string{
+		// i + f(): Bin's left operand captured before the call writes i.
+		"bin": `
+method main() {
+  var i := 1;
+  var f := fn() { i := 8; 0; };
+  println(i + f());
+  i;
+}`,
+		// obj.field := expr: the object slot captured before the value
+		// expression's closure call rebinds it.
+		"setfield": `
+class B { field v : Int := 0; }
+method main() {
+  var a := new B(1);
+  var old := a;
+  var f := fn() { a := new B(2); 7; };
+  a.v := f();
+  old.v;
+}`,
+		// g(...): the callee slot captured before an argument's closure
+		// call rebinds it to a different closure.
+		"callclosure fn": `
+method main() {
+  var g := fn(x) { x + 100; };
+  var swap := fn() { g := fn(x) { x + 200; }; 5; };
+  println(g(swap()));
+  0;
+}`,
+		// if i < f(): the fused compare's left operand captured before
+		// the right operand's call writes i.
+		"cond cmpbr": `
+method main() {
+  var i := 1;
+  var f := fn() { i := 0; 5; };
+  if i < f() { println("lt"); } else { println("ge"); }
+  i;
+}`,
+		// aput(xs, i, f()): the index slot captured before the value
+		// operand's call writes i.
+		"aput index": `
+method main() {
+  var xs := newarray(3);
+  var i := 0;
+  var f := fn() { i := 2; 9; };
+  aput(xs, i, f());
+  println(aget(xs, 0));
+  println(aget(xs, 2));
+  i;
+}`,
+	} {
+		tv, te, vv, ve := runBoth(t, src, 0, 0)
+		wantSameError(t, name, te, ve)
+		if tv != vv {
+			t.Errorf("%s: value diverged: tree %s, vm %s", name, tv, vv)
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package vmcheck
+
+import (
+	"selspec/internal/vm"
+)
+
+// block is one basic block of a proc's CFG: the half-open instruction
+// range [start, end), its successor block IDs, and its predecessors.
+type block struct {
+	id         int
+	start, end int
+	succs      []int
+	preds      []int
+}
+
+// cfg is the basic-block control-flow graph of one proc. Block 0 is the
+// entry block (instruction 0). Blocks are ordered by start pc, so
+// iterating blocks visits instructions in code order.
+type cfg struct {
+	p      *vm.Proc
+	info   []instrInfo // decoded per-pc, shared by all analyses
+	blocks []*block
+	// blockOf maps each pc to the id of its containing block.
+	blockOf []int
+}
+
+// buildCFG decodes p's instruction stream and partitions it into basic
+// blocks. It assumes every branch target is in bounds — the verifier
+// checks operand validity on the flat stream first and only then builds
+// the CFG, so the dataflow passes never see a malformed graph.
+func buildCFG(p *vm.Proc) *cfg {
+	n := len(p.Code)
+	g := &cfg{p: p, info: make([]instrInfo, n), blockOf: make([]int, n)}
+	for pc := range p.Code {
+		g.info[pc] = decode(p, pc)
+	}
+
+	// Leaders: instruction 0, every branch target, and every instruction
+	// following a branch or terminator.
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc, in := range g.info {
+		if in.hasBranch && int(in.branch) < n {
+			leader[in.branch] = true
+		}
+		if (in.hasBranch || !in.fallsThrough) && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.blocks = append(g.blocks, &block{id: len(g.blocks), start: pc})
+		}
+		g.blockOf[pc] = len(g.blocks) - 1
+	}
+	for i, b := range g.blocks {
+		if i+1 < len(g.blocks) {
+			b.end = g.blocks[i+1].start
+		} else {
+			b.end = n
+		}
+		last := g.info[b.end-1]
+		if last.hasBranch && int(last.branch) < n {
+			b.succs = append(b.succs, g.blockOf[last.branch])
+		}
+		if last.fallsThrough && b.end < n {
+			b.succs = append(b.succs, g.blockOf[b.end])
+		}
+	}
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			g.blocks[s].preds = append(g.blocks[s].preds, b.id)
+		}
+	}
+	return g
+}
+
+// reachable returns, per block, whether it is reachable from the entry
+// block.
+func (g *cfg) reachable() []bool {
+	seen := make([]bool, len(g.blocks))
+	if len(g.blocks) == 0 {
+		return seen
+	}
+	work := []int{0}
+	seen[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.blocks[b].succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,181 @@
+package vmcheck
+
+import (
+	"selspec/internal/bits"
+	"selspec/internal/vm"
+)
+
+// This file holds the framework's two solver directions, instantiated
+// as the concrete register analyses the consumers need:
+//
+//   - mustDefined: forward, meet = intersection over predecessors. A
+//     register is "defined at pc" when every path from entry writes it
+//     first. Feeds the verifier's def-before-use check.
+//   - liveness: backward, meet = union over successors. A register is
+//     "live out of pc" when some path from pc+1 (or the branch target)
+//     reads it before writing it. Feeds the dead-store diagnostic.
+//
+// Both run to fixpoint with a round-robin worklist over basic blocks;
+// the lattices are finite (subsets of the proc's registers) and the
+// transfer functions monotone, so termination is immediate.
+
+// solver iterates block-level transfer functions to fixpoint. dirn
+// picks the direction; meetInto folds one neighbor's boundary set into
+// the accumulating meet.
+type solver struct {
+	g *cfg
+	// in/out per block, in the direction's sense: in[b] is the dataflow
+	// value at the block's entry edge (forward) and out[b] at its exit.
+	in, out []*bits.Set
+}
+
+// fullSet returns {0..n-1} — top for the must-defined lattice.
+func fullSet(n int) *bits.Set {
+	s := bits.New(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// mustDefined computes, for each block, the set of registers written on
+// every path from entry to the block's start. Boundary: the entry block
+// starts with the frame slots (the machine's clearSlots initializes
+// [args, NumSlots) to nil and arguments fill [0, args)); unreachable
+// blocks start at top so they never weaken a join they cannot reach.
+func (g *cfg) mustDefined() *solver {
+	n := len(g.blocks)
+	nr := g.p.NumRegs
+	s := &solver{g: g, in: make([]*bits.Set, n), out: make([]*bits.Set, n)}
+	entry := bits.New(nr)
+	for i := 0; i < g.p.NumSlots; i++ {
+		entry.Add(i)
+	}
+	for b := 0; b < n; b++ {
+		if b == 0 {
+			s.in[b] = entry.Clone()
+		} else {
+			s.in[b] = fullSet(nr)
+		}
+		s.out[b] = s.transferDefs(b, s.in[b])
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := 1; b < n; b++ {
+			meet := fullSet(nr)
+			for _, p := range g.blocks[b].preds {
+				meet.RetainAll(s.out[p])
+			}
+			if meet.Equal(s.in[b]) {
+				continue
+			}
+			s.in[b] = meet
+			s.out[b] = s.transferDefs(b, meet)
+			changed = true
+		}
+	}
+	return s
+}
+
+// transferDefs applies a block's definitions to an incoming defined
+// set: defined' = defined ∪ writes(block).
+func (s *solver) transferDefs(b int, in *bits.Set) *bits.Set {
+	out := in.Clone()
+	blk := s.g.blocks[b]
+	for pc := blk.start; pc < blk.end; pc++ {
+		s.g.info[pc].writes.each(func(r int32) { out.Add(int(r)) })
+	}
+	return out
+}
+
+// definedAt walks block b with the solved block-entry set and calls
+// check at each pc with the registers defined on every path to that
+// instruction (before it executes).
+func (s *solver) definedAt(b int, check func(pc int, defined *bits.Set)) {
+	blk := s.g.blocks[b]
+	defined := s.in[b].Clone()
+	for pc := blk.start; pc < blk.end; pc++ {
+		check(pc, defined)
+		s.g.info[pc].writes.each(func(r int32) { defined.Add(int(r)) })
+	}
+}
+
+// liveness computes, per block, the registers live at its entry and
+// exit. Reads are modeled conservatively for the consumers' sake: an
+// OpCallClosure window (statically unknown width) reads every register
+// from its base up, and when the proc needs a heap frame every
+// call/closure-creating instruction and every return reads all slots —
+// a captured frame outlives any static view of it. Conservative reads
+// only ever shrink the dead-store report, never grow it.
+func (g *cfg) liveness() *solver {
+	n := len(g.blocks)
+	s := &solver{g: g, in: make([]*bits.Set, n), out: make([]*bits.Set, n)}
+	for b := 0; b < n; b++ {
+		s.out[b] = bits.New(g.p.NumRegs)
+		s.in[b] = s.transferLive(b, s.out[b])
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := n - 1; b >= 0; b-- {
+			join := bits.New(g.p.NumRegs)
+			for _, succ := range g.blocks[b].succs {
+				join.AddAll(s.in[succ])
+			}
+			if join.Equal(s.out[b]) {
+				continue
+			}
+			s.out[b] = join
+			s.in[b] = s.transferLive(b, join)
+			changed = true
+		}
+	}
+	return s
+}
+
+// instrReads calls fn with every register the instruction at pc may
+// read, under the conservative model described at liveness.
+func (g *cfg) instrReads(pc int, fn func(int)) {
+	in := g.info[pc]
+	in.reads.each(func(r int32) { fn(int(r)) })
+	switch {
+	case in.winLen == winUnknown:
+		for r := int(in.winBase); r < g.p.NumRegs; r++ {
+			fn(r)
+		}
+	case in.winLen > 0:
+		for r := in.winBase; r < in.winBase+in.winLen; r++ {
+			fn(int(r))
+		}
+	}
+	if g.p.NeedsFrame && (in.calls || in.terminates || g.p.Code[pc].Op == vm.OpMakeClosure) {
+		for r := 0; r < g.p.NumSlots; r++ {
+			fn(r)
+		}
+	}
+}
+
+// transferLive applies one block backward: live' = reads ∪ (live −
+// writes), instruction by instruction from the block's end.
+func (s *solver) transferLive(b int, out *bits.Set) *bits.Set {
+	live := out.Clone()
+	blk := s.g.blocks[b]
+	for pc := blk.end - 1; pc >= blk.start; pc-- {
+		s.g.info[pc].writes.each(func(r int32) { live.Remove(int(r)) })
+		s.g.instrReads(pc, func(r int) { live.Add(r) })
+	}
+	return live
+}
+
+// liveOutAt walks block b backward and calls check at each pc with the
+// registers live immediately after that instruction.
+func (s *solver) liveOutAt(b int, check func(pc int, liveOut *bits.Set)) {
+	blk := s.g.blocks[b]
+	live := s.out[b].Clone()
+	for pc := blk.end - 1; pc >= blk.start; pc-- {
+		check(pc, live)
+		s.g.info[pc].writes.each(func(r int32) { live.Remove(int(r)) })
+		s.g.instrReads(pc, func(r int) { live.Add(r) })
+	}
+}

@@ -1,0 +1,205 @@
+package vmcheck
+
+import (
+	"testing"
+
+	"selspec/internal/bits"
+	"selspec/internal/interp"
+	"selspec/internal/vm"
+)
+
+// tproc hand-builds a proc for dataflow unit tests. Only the fields the
+// analyses consume are populated.
+func tproc(numSlots, numRegs int, code ...vm.Instr) *vm.Proc {
+	return &vm.Proc{Name: "t", Kind: vm.KindMethod, NumSlots: numSlots, NumRegs: numRegs, Code: code}
+}
+
+func ins(op vm.Op, abcd ...int32) vm.Instr {
+	i := vm.Instr{Op: op}
+	if len(abcd) > 0 {
+		i.A = abcd[0]
+	}
+	if len(abcd) > 1 {
+		i.B = abcd[1]
+	}
+	if len(abcd) > 2 {
+		i.C = abcd[2]
+	}
+	if len(abcd) > 3 {
+		i.D = abcd[3]
+	}
+	return i
+}
+
+// TestCFGDiamond checks block boundaries and edges on an if/else shape.
+func TestCFGDiamond(t *testing.T) {
+	//  0: cmpbr r0,r1 else->3
+	//  1: const r2
+	//  2: jump ->4
+	//  3: const r2
+	//  4: ret r2
+	g := buildCFG(tproc(2, 3,
+		ins(vm.OpCmpBr, 0, 1, 3, 0),
+		ins(vm.OpConst, 2, 0),
+		ins(vm.OpJump, 4),
+		ins(vm.OpConst, 2, 0),
+		ins(vm.OpRet, 2),
+	))
+	if len(g.blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.blocks))
+	}
+	wantStarts := []int{0, 1, 3, 4}
+	for i, b := range g.blocks {
+		if b.start != wantStarts[i] {
+			t.Errorf("block %d starts at %d, want %d", i, b.start, wantStarts[i])
+		}
+	}
+	// Entry branches to both arms; both arms join at the return.
+	if got := g.blocks[0].succs; len(got) != 2 {
+		t.Errorf("entry succs = %v, want 2 edges", got)
+	}
+	join := g.blocks[3]
+	if len(join.preds) != 2 {
+		t.Errorf("join preds = %v, want 2 edges", join.preds)
+	}
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			found := false
+			for _, p := range g.blocks[s].preds {
+				found = found || p == b.id
+			}
+			if !found {
+				t.Errorf("edge %d->%d has no matching pred entry", b.id, s)
+			}
+		}
+	}
+}
+
+// TestMustDefinedDiamond: a temp written on only one arm of a diamond
+// is not must-defined at the join; params/locals are defined at entry.
+func TestMustDefinedDiamond(t *testing.T) {
+	//  0: cmpbr r0,r0 else->2
+	//  1: const r1        (temp written on then-arm only)
+	//  2: ret r0
+	g := buildCFG(tproc(1, 2,
+		ins(vm.OpCmpBr, 0, 0, 2, 0),
+		ins(vm.OpConst, 1, 0),
+		ins(vm.OpRet, 0),
+	))
+	s := g.mustDefined()
+	// Entry block: slot r0 defined, temp r1 not.
+	if !s.in[0].Has(0) {
+		t.Error("slot r0 not defined at entry")
+	}
+	if s.in[0].Has(1) {
+		t.Error("temp r1 defined at entry")
+	}
+	// Join block (starting at pc 2) must not see r1 as defined.
+	join := g.blockOf[2]
+	if s.in[join].Has(1) {
+		t.Error("temp r1 must-defined at join despite one-armed write")
+	}
+	// But the fall-through block after the write does.
+	if !s.out[g.blockOf[1]].Has(1) {
+		t.Error("temp r1 not defined after its write")
+	}
+}
+
+// TestLivenessDeadStore: a register written and never read is dead at
+// the store; one that flows to the return stays live.
+func TestLivenessDeadStore(t *testing.T) {
+	//  0: const r1       (never read again -> dead)
+	//  1: const r0
+	//  2: ret r0
+	g := buildCFG(tproc(2, 2,
+		ins(vm.OpConst, 1, 0),
+		ins(vm.OpConst, 0, 0),
+		ins(vm.OpRet, 0),
+	))
+	l := g.liveness()
+	dead := map[int]bool{}
+	l.liveOutAt(0, func(pc int, live *bits.Set) {
+		g.info[pc].writes.each(func(r int32) {
+			if !live.Has(int(r)) {
+				dead[pc] = true
+			}
+		})
+	})
+	if !dead[0] {
+		t.Error("store at pc 0 not detected dead")
+	}
+	if dead[1] {
+		t.Error("store at pc 1 (read by ret) wrongly dead")
+	}
+}
+
+// TestLoopLiveness: a loop-carried register stays live around the back
+// edge.
+func TestLoopLiveness(t *testing.T) {
+	//  0: const r0
+	//  1: cmpbrk r0 else->4
+	//  2: bink r0 <- r0 + 1
+	//  3: jump ->1
+	//  4: ret r0
+	g := buildCFG(tproc(1, 1,
+		ins(vm.OpConst, 0, 0),
+		ins(vm.OpCmpBrK, 0, 0, 4, 0),
+		ins(vm.OpBinK, 0, 0, 0, 0),
+		ins(vm.OpJump, 1),
+		ins(vm.OpRet, 0),
+	))
+	l := g.liveness()
+	// r0 is live into the loop-header block (pc 1) from both edges.
+	hdr := g.blockOf[1]
+	if !l.in[hdr].Has(0) {
+		t.Error("loop-carried r0 not live into header")
+	}
+}
+
+// TestReachableSkipsDeadTail: code after an unconditional return is
+// unreachable.
+func TestReachableSkipsDeadTail(t *testing.T) {
+	g := buildCFG(tproc(1, 1,
+		ins(vm.OpRet, 0),
+		ins(vm.OpConst, 0, 0),
+		ins(vm.OpRet, 0),
+	))
+	reach := g.reachable()
+	if !reach[g.blockOf[0]] {
+		t.Error("entry block unreachable")
+	}
+	if reach[g.blockOf[1]] {
+		t.Error("post-return tail reported reachable")
+	}
+}
+
+// TestFusedCostCatalogue pins the superinstruction accounting table
+// against decode(): for every fused opcode, the cycle and prim-op
+// charge decode reports must equal the catalogue's unfused cost, which
+// the parity tests in internal/vm tie to the tree interpreter. A new
+// fused opcode whose decode entry disagrees with the catalogue fails
+// here, before any differential test runs.
+func TestFusedCostCatalogue(t *testing.T) {
+	for op, want := range fusedUnfusedCost {
+		var i vm.Instr
+		i.Op = op
+		p := tproc(1, 4, i, ins(vm.OpRet, 0))
+		got := decode(p, 0)
+		if got.cycles != want.Cycles {
+			t.Errorf("%s: decode cycles = %d, catalogue %d", op, got.cycles, want.Cycles)
+		}
+		if got.primOps != want.PrimOps {
+			t.Errorf("%s: decode primOps = %d, catalogue %d", op, got.primOps, want.PrimOps)
+		}
+		if want.PrimOps != 1 {
+			t.Errorf("%s: every superinstruction folds exactly one primitive, catalogue says %d", op, want.PrimOps)
+		}
+	}
+	// OpCharge's cost is its A operand: the compiler pre-charges what the
+	// tree tier charges for allocation (verified per-proc by the News
+	// pairing rule).
+	p := tproc(0, 1, ins(vm.OpCharge, interp.CostNewBase+2, 0), ins(vm.OpConst, 0, 0), ins(vm.OpRet, 0))
+	if got := decode(p, 0); got.cycles != interp.CostNewBase+2 {
+		t.Errorf("OpCharge cycles = %d, want A operand %d", got.cycles, interp.CostNewBase+2)
+	}
+}
