@@ -1,0 +1,151 @@
+package main
+
+// "selspec fleet": the crash-tolerant multi-process mode. A supervisor
+// spawns N `selspec serve` workers as subprocesses, restarts the ones
+// that die (with backoff and a crash-loop budget), and fronts them with
+// a consistent-hash router that retries around failures — see
+// internal/fleet and README "Fleet mode".
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"selspec/internal/fleet"
+	"selspec/internal/obs"
+)
+
+// fleetListenHook mirrors serveListenHook for the fleet router's bound
+// address.
+var fleetListenHook func(net.Addr)
+
+// runFleet implements "selspec fleet". It blocks until SIGTERM/SIGINT,
+// then drains the router and every worker, exiting 0 on a clean drain.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("selspec fleet", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "router listen address")
+		workers  = fs.Int("workers", 3, "number of serve worker subprocesses")
+		timeout  = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxT     = fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = -timeout)")
+		maxConc  = fs.Int("max-concurrent", 0, "per-worker max concurrent requests (0 = worker default)")
+		queue    = fs.Int("queue", 0, "per-worker admission queue depth (0 = worker default)")
+		retries  = fs.Int("retries", 2, "extra attempts against the next ring worker after a retryable failure")
+		probeInt = fs.Duration("probe-interval", 250*time.Millisecond, "worker /readyz probe cadence")
+		eject    = fs.Int("eject-after", 2, "consecutive probe failures that eject a worker from the ring")
+		restartB = fs.Duration("restart-backoff", 250*time.Millisecond, "base delay before restarting a dead worker (doubles per consecutive failed start)")
+		restartM = fs.Duration("restart-backoff-max", 15*time.Second, "cap on the restart backoff")
+		budget   = fs.Int("crashloop-budget", 5, "consecutive failed starts before a worker stops being restarted")
+		drainT   = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work after SIGTERM")
+		verify   = fs.Bool("verify", false, "pass -verify to every worker")
+		chaosP   = fs.Float64("chaos", 0, "TESTING: per-request fault-injection probability, passed to every worker")
+		chaosK   = fs.Duration("chaos-kill", 0, "TESTING: SIGKILL a random healthy worker this often (0 = never)")
+		seed     = fs.Int64("chaos-seed", 1, "TESTING: PRNG seed for -chaos workers and the -chaos-kill picker")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fleet: unexpected arguments %v", fs.Args())
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("fleet: -workers must be positive, got %d", *workers)
+	}
+	if *chaosP < 0 || *chaosP > 1 {
+		return fmt.Errorf("fleet: -chaos must be in [0,1], got %v", *chaosP)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("fleet: locating own binary: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	f, err := fleet.New(fleet.Config{
+		Workers: *workers,
+		WorkerCommand: func(i int) *exec.Cmd {
+			// Each worker is this very binary in serve mode on an
+			// ephemeral port; the supervisor learns the port from the
+			// worker's "listening on" line.
+			wargs := []string{"serve", "-addr", "127.0.0.1:0",
+				"-timeout", timeout.String(), "-drain-timeout", drainT.String()}
+			if *maxT > 0 {
+				wargs = append(wargs, "-max-timeout", maxT.String())
+			}
+			if *maxConc > 0 {
+				wargs = append(wargs, "-max-concurrent", fmt.Sprint(*maxConc))
+			}
+			if *queue > 0 {
+				wargs = append(wargs, "-queue", fmt.Sprint(*queue))
+			}
+			if *verify {
+				wargs = append(wargs, "-verify")
+			}
+			if *chaosP > 0 {
+				// Distinct per-worker seeds so the fleet's fault pattern
+				// is reproducible but not in lockstep across workers.
+				wargs = append(wargs, "-chaos", fmt.Sprint(*chaosP),
+					"-chaos-seed", fmt.Sprint(*seed+int64(i)))
+			}
+			return exec.Command(self, wargs...)
+		},
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxT,
+		MaxRetries:     *retries,
+		ProbeInterval:  *probeInt,
+		EjectAfter:     *eject,
+		RestartBackoff: *restartB, RestartBackoffMax: *restartM,
+		CrashLoopBudget: *budget,
+		DrainTimeout:    *drainT,
+		Seed:            *seed,
+		Metrics:         reg,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	f.OnListen = func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "selspec fleet: router listening on %s (%d workers)\n", a, *workers)
+		if fleetListenHook != nil {
+			fleetListenHook(a)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *chaosK > 0 {
+		// The kill loop is the fleet-level chaos drill: a worker dies
+		// by SIGKILL — no drain, no goodbye — at a fixed cadence, and
+		// the acceptance criterion is that clients never notice beyond
+		// latency. Runs until drain begins.
+		go func() {
+			rng := rand.New(rand.NewSource(*seed))
+			t := time.NewTicker(*chaosK)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					victim := rng.Intn(*workers)
+					if f.KillWorker(victim) {
+						fmt.Fprintf(os.Stderr, "selspec fleet: CHAOS killed worker %d\n", victim)
+					}
+				}
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "selspec fleet: CHAOS KILL armed (every %v, seed=%d)\n", *chaosK, *seed)
+	}
+
+	if err := f.ListenAndServe(ctx, *addr); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "selspec fleet: drained cleanly")
+	return nil
+}

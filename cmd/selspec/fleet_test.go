@@ -1,0 +1,151 @@
+package main
+
+// End-to-end test of "selspec fleet" exactly as a deployment runs it:
+// runFleet spawns real worker subprocesses (this test binary
+// re-executing itself in serve mode via TestMain), a worker is killed
+// with a real SIGKILL taken from the /readyz topology, and the drain
+// is triggered by a real SIGTERM.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"selspec/internal/fleet"
+)
+
+func TestMain(m *testing.M) {
+	// Re-exec hook: "selspec fleet" launches os.Executable() — in
+	// tests, this binary — with "serve" argv. Become that worker
+	// instead of running the test suite.
+	if os.Getenv("SELSPEC_TEST_REEXEC") == "1" && len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "reexec serve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func fleetPost(t *testing.T, base string, reqBody string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/run", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func TestFleetLifecycleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess lifecycle test")
+	}
+	t.Setenv("SELSPEC_TEST_REEXEC", "1")
+	addrCh := make(chan net.Addr, 1)
+	fleetListenHook = func(a net.Addr) { addrCh <- a }
+	defer func() { fleetListenHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- runFleet([]string{"-addr", "127.0.0.1:0", "-workers", "2",
+			"-restart-backoff", "50ms", "-probe-interval", "50ms"})
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("fleet exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet never started listening")
+	}
+
+	const req = `{"bench":"Richards","config":"Base"}`
+	code, want := fleetPost(t, base, req)
+	if code != http.StatusOK {
+		t.Fatalf("first routed request: %d %s", code, want)
+	}
+
+	// Take a worker PID from the fleet topology and SIGKILL it — the
+	// operator's view of a worker crash.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Workers) != 2 || st.Workers[0].PID == 0 {
+		t.Fatalf("readyz topology incomplete: %+v", st)
+	}
+	if err := syscall.Kill(st.Workers[0].PID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Service continues across the death: every request keeps getting
+	// the byte-identical answer (retries hide the dead worker).
+	for i := 0; i < 5; i++ {
+		code, body := fleetPost(t, base, req)
+		if code != http.StatusOK || !bytes.Equal(body, want) {
+			t.Fatalf("request %d after SIGKILL: %d %q, want 200 %q", i, code, body, want)
+		}
+	}
+
+	// The supervisor restarts the victim and the merged metrics say so.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "selspec_fleet_worker_restarts_total 1\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restart never surfaced in /metrics:\n%s", body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// A real SIGTERM must drain the router and both workers, and
+	// runFleet must return nil — the CLI's exit-0 contract.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil", err)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("fleet did not exit after SIGTERM")
+	}
+}
+
+func TestFleetFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-chaos", "1.5"},
+		{"-chaos", "-0.1"},
+		{"stray-positional"},
+	} {
+		if err := runFleet(args); err == nil {
+			t.Errorf("runFleet(%v): expected error", args)
+		}
+	}
+}

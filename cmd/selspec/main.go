@@ -10,6 +10,7 @@
 //	selspec [flags] -bench Richards
 //	selspec check [-format text|json] [-bench Name] program.mc...
 //	selspec serve [-addr host:port] [-max-concurrent N] [-timeout 30s]
+//	selspec fleet [-addr host:port] [-workers N] [-retries N]
 //
 // Examples:
 //
@@ -20,6 +21,7 @@
 //	selspec -use-profile out.json -config Selective prog.mc
 //	selspec check -format json prog.mc       # static diagnostics as JSON
 //	selspec serve -addr :8080                # fault-isolated HTTP service
+//	selspec fleet -workers 4 -addr :8080     # supervised multi-process fleet
 package main
 
 import (
@@ -62,6 +64,9 @@ func run() error {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		return runServe(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		return runFleet(os.Args[2:])
 	}
 	var (
 		configName = flag.String("config", "Base", "compiler configuration: "+strings.Join(opt.ConfigNames(), ", "))

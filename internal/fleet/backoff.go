@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoffFor returns the exponential delay for the n-th consecutive
+// failure (n counted from 0): base·2ⁿ, capped at max. It is shared by
+// the two retry loops in this package — worker restarts after a crash
+// and proxy retries against the next ring worker — which want the same
+// shape: immediate-ish first retry, rapidly growing pressure relief,
+// hard ceiling so a long outage does not push waits to absurdity.
+func backoffFor(base, max time.Duration, n int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < n; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// jittered spreads d over [d/2, d] ("equal jitter"). A fleet restarts
+// workers and retries requests in bursts — a SIGKILLed worker drops
+// every in-flight request at the same instant — and without jitter all
+// the resulting waits expire in the same instant too, re-stampeding
+// whatever they were backing off from. rng may be nil, in which case
+// the process-global source is used.
+func jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if d <= time.Nanosecond {
+		return d
+	}
+	half := d / 2
+	var off int64
+	if rng != nil {
+		off = rng.Int63n(int64(half) + 1)
+	} else {
+		off = rand.Int63n(int64(half) + 1)
+	}
+	return half + time.Duration(off)
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffForGrowthAndCap(t *testing.T) {
+	base, max := 250*time.Millisecond, 15*time.Second
+	want := []time.Duration{
+		250 * time.Millisecond, 500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 8 * time.Second,
+		15 * time.Second, 15 * time.Second, // capped from n=6 on
+	}
+	for n, w := range want {
+		if got := backoffFor(base, max, n); got != w {
+			t.Errorf("backoffFor(n=%d) = %v, want %v", n, got, w)
+		}
+	}
+	// Large n must not overflow past the cap.
+	if got := backoffFor(base, max, 500); got != max {
+		t.Errorf("backoffFor(n=500) = %v, want %v", got, max)
+	}
+	if got := backoffFor(0, max, 3); got != 0 {
+		t.Errorf("backoffFor(base=0) = %v, want 0", got)
+	}
+}
+
+func TestJitteredStaysInEqualJitterWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := 800 * time.Millisecond
+	lo, hi := d, d/2
+	for i := 0; i < 2000; i++ {
+		j := jittered(d, rng)
+		if j < d/2 || j > d {
+			t.Fatalf("jittered(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	// The window should actually be exercised, not collapsed to a point.
+	if hi-lo < d/4 {
+		t.Errorf("jitter spread only [%v, %v] over 2000 draws", lo, hi)
+	}
+	if got := jittered(0, rng); got != 0 {
+		t.Errorf("jittered(0) = %v, want 0", got)
+	}
+	// nil rng falls back to the global source and stays in-window too.
+	if j := jittered(d, nil); j < d/2 || j > d {
+		t.Errorf("jittered(nil rng) = %v outside window", j)
+	}
+}

@@ -1,0 +1,773 @@
+// Package fleet is the horizontal-scale, crash-tolerant face of the
+// reproduction: a supervisor that runs N `selspec serve` workers as
+// subprocesses and an HTTP router that consistent-hashes programs
+// across them by the same sha256 key the circuit breaker uses.
+//
+// The single-process server (internal/server) contains every fault a
+// pipeline.Guard boundary can see — but a worker can still die in ways
+// no in-process boundary contains: OOM kills, stack exhaustion,
+// runaway cgo, `kill -9`. Subprocess isolation is the layer below
+// Guard: a worker death costs exactly the requests in flight on that
+// worker, and those are retried against the next worker on the hash
+// ring, so the fleet as a whole keeps its availability through faults
+// the language runtime cannot survive. The pieces:
+//
+//   - supervision (this file): spawn workers, learn each one's bound
+//     address from its "listening on" stderr line, probe /readyz until
+//     ready, publish it on the ring, and when the process dies restart
+//     it with exponential backoff + jitter under a crash-loop budget
+//     (a worker that can't stay up stops being restarted instead of
+//     burning CPU forever);
+//   - health (this file): a periodic /readyz probe per worker with
+//     ejection after consecutive failures and reinstatement on
+//     recovery; a worker that reports "draining" leaves the ring
+//     quietly without being counted as a failure;
+//   - routing (router.go): consistent-hash admission with bounded
+//     retries, deadline propagation, and a merged /metrics;
+//   - drain: BeginDrain stops admissions, Shutdown lets in-flight
+//     proxied requests finish, SIGTERMs every worker (each drains its
+//     own admitted work), and reaps the children.
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"selspec/internal/obs"
+	"selspec/internal/server"
+)
+
+// Config tunes the fleet. The zero value of every field (except
+// WorkerCommand, which is required) is replaced by a production
+// default in New.
+type Config struct {
+	// Workers is the number of serve subprocesses to supervise
+	// (default 3).
+	Workers int
+	// WorkerCommand builds the (unstarted) command for worker i. The
+	// CLI wires `os.Executable() serve -addr 127.0.0.1:0 ...` here;
+	// tests substitute their own binary. The command must print the
+	// server's "listening on <addr>" line to stderr — that is how the
+	// supervisor learns the kernel-assigned port.
+	WorkerCommand func(i int) *exec.Cmd
+	// WorkerOutput receives every worker stderr line, prefixed with
+	// the worker index (default os.Stderr; tests use io.Discard).
+	WorkerOutput io.Writer
+
+	// DefaultTimeout is the per-request budget when the client does
+	// not set timeout_ms (default 30s); MaxTimeout caps client-asked
+	// budgets (default DefaultTimeout). The router starts the clock at
+	// admission and propagates the *remaining* budget to workers via
+	// server.DeadlineHeader on every attempt, so retries never extend
+	// a request past what the client was promised.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds the request body (default 1 MiB).
+	MaxSourceBytes int64
+	// MaxRetries is how many additional attempts (against the next
+	// distinct ring worker each time) a request gets after a transport
+	// failure or a retryable worker 5xx (default 2). Requests are pure
+	// — the pipeline has no side effects outside the response — so
+	// replaying one that may have partially executed is always safe.
+	MaxRetries int
+	// RetryBackoff is the base delay between proxy attempts, doubled
+	// per attempt and jittered (default 25ms).
+	RetryBackoff time.Duration
+	// DeadlineGrace is how long past the remaining budget the router
+	// waits for a worker's own (better-classified) deadline response
+	// before cutting the attempt itself (default 250ms).
+	DeadlineGrace time.Duration
+
+	// ProbeInterval is the /readyz probe cadence (default 250ms);
+	// ProbeTimeout bounds one probe (default 2s); EjectAfter is the
+	// consecutive probe failures that eject a worker from the ring
+	// (default 2).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	EjectAfter    int
+	// StartupTimeout bounds one incarnation's path to ready: both the
+	// wait for the "listening on" line and the wait for the first
+	// passing probe (default 15s).
+	StartupTimeout time.Duration
+	// RestartBackoff/RestartBackoffMax shape the exponential restart
+	// delay after a worker death (defaults 250ms, 15s). The exponent
+	// is the count of consecutive incarnations that died without ever
+	// becoming healthy, so a worker killed mid-service restarts at the
+	// base delay while a crash-looping one backs off to the cap.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// CrashLoopBudget is how many consecutive incarnations may die
+	// without becoming healthy before the supervisor gives up on that
+	// worker (default 5). The ring rehashes its keys to the survivors.
+	CrashLoopBudget int
+	// DrainTimeout bounds each phase of Shutdown: in-flight router
+	// requests, then worker drains (default 30s).
+	DrainTimeout time.Duration
+	// Replicas is the virtual-node count per worker on the hash ring
+	// (default 64).
+	Replicas int
+	// Seed seeds the backoff jitter (0 = time-seeded). Drills set it
+	// for reproducible schedules.
+	Seed int64
+	// Metrics, when non-nil, registers the router counters
+	// (selspec_fleet_*) and enables GET /metrics, which merges every
+	// worker's registry with the router's own. Nil disables the
+	// endpoint; Status() still reports the counts.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.WorkerOutput == nil {
+		c.WorkerOutput = os.Stderr
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.DeadlineGrace <= 0 {
+		c.DeadlineGrace = 250 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.StartupTimeout <= 0 {
+		c.StartupTimeout = 15 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 250 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 15 * time.Second
+	}
+	if c.CrashLoopBudget <= 0 {
+		c.CrashLoopBudget = 5
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	return c
+}
+
+// workerState is one worker's position in its lifecycle, reported
+// verbatim in Status (and therefore in /readyz bodies).
+type workerState string
+
+const (
+	stateStarting  workerState = "starting"  // spawned, not yet ready
+	stateHealthy   workerState = "healthy"   // on the ring, passing probes
+	stateEjected   workerState = "ejected"   // alive but failing probes; off the ring
+	stateDraining  workerState = "draining"  // reports draining; off the ring, not a failure
+	stateBackoff   workerState = "backoff"   // dead; restart scheduled
+	stateCrashLoop workerState = "crashloop" // budget exhausted; not restarted
+	stateStopped   workerState = "stopped"   // fleet drain reaped it
+)
+
+// worker is one supervised subprocess slot. The slot (and its ring
+// identity) outlives any individual process incarnation.
+type worker struct {
+	id     int
+	ringID string
+
+	mu         sync.Mutex
+	state      workerState
+	addr       string // bound address of the current incarnation ("" while down)
+	pid        int
+	proc       *os.Process
+	restarts   uint64 // respawns after the initial spawn
+	probeFails int    // consecutive failed probes
+	startFails int    // consecutive incarnations that never became healthy
+}
+
+// listenRe extracts the bound address from a worker's startup line
+// ("selspec serve: listening on 127.0.0.1:43175").
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// Fleet is the supervisor + router. Create with New, spawn with Start
+// (or let ListenAndServe do both), route via Handler.
+type Fleet struct {
+	cfg     Config
+	ring    *ring
+	workers []*worker
+	byRing  map[string]*worker
+
+	client      *http.Client // proxy client (per-attempt deadlines via request contexts)
+	probeClient *http.Client
+
+	draining  chan struct{}
+	drainOnce sync.Once
+	inflight  sync.WaitGroup // router requests being proxied
+	wg        sync.WaitGroup // supervision + probe loops
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	served    atomic.Uint64
+	retries   atomic.Uint64
+	restarts  atomic.Uint64
+	ejections atomic.Uint64
+	// Registry mirrors of the atomics (nil and free when Metrics is
+	// unset; obs instruments are nil-safe).
+	mServed, mRetries, mRestarts, mEjections *obs.Counter
+	wReq, wErr                               []*obs.Counter
+
+	mux *http.ServeMux
+
+	// OnListen, when set before ListenAndServe, receives the router's
+	// bound address (tests listen on :0 and need the real port).
+	OnListen func(net.Addr)
+}
+
+// New builds a Fleet with cfg's gaps filled by production defaults.
+// Nothing is spawned until Start.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WorkerCommand == nil {
+		return nil, errors.New("fleet: Config.WorkerCommand is required")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	f := &Fleet{
+		cfg:         cfg,
+		ring:        newRing(cfg.Replicas),
+		byRing:      make(map[string]*worker, cfg.Workers),
+		client:      &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16, IdleConnTimeout: 30 * time.Second}},
+		probeClient: &http.Client{Timeout: cfg.ProbeTimeout},
+		draining:    make(chan struct{}),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	f.mServed = cfg.Metrics.Counter("selspec_fleet_requests_total")
+	f.mRetries = cfg.Metrics.Counter("selspec_fleet_retries_total")
+	f.mRestarts = cfg.Metrics.Counter("selspec_fleet_worker_restarts_total")
+	f.mEjections = cfg.Metrics.Counter("selspec_fleet_ejections_total")
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{id: i, ringID: fmt.Sprintf("w%d", i), state: stateStarting}
+		f.workers = append(f.workers, w)
+		f.byRing[w.ringID] = w
+		f.wReq = append(f.wReq, cfg.Metrics.Counter("selspec_fleet_worker_requests_total", obs.Label{Key: "worker", Value: strconv.Itoa(i)}))
+		f.wErr = append(f.wErr, cfg.Metrics.Counter("selspec_fleet_worker_errors_total", obs.Label{Key: "worker", Value: strconv.Itoa(i)}))
+	}
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("POST /run", f.handleRun)
+	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
+	f.mux.HandleFunc("GET /readyz", f.handleReadyz)
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	return f, nil
+}
+
+// Handler exposes the router's routes.
+func (f *Fleet) Handler() http.Handler { return f.mux }
+
+// Start spawns every worker and blocks until the ring has at least one
+// routable member, or every worker has exhausted its crash-loop budget
+// (error). Idempotent callers must not call it twice.
+func (f *Fleet) Start() error {
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go f.supervise(w)
+	}
+	f.wg.Add(1)
+	go f.probeLoop()
+	for {
+		if f.ring.size() > 0 {
+			return nil
+		}
+		if f.isDraining() {
+			return errors.New("fleet: draining before any worker became ready")
+		}
+		allDead := true
+		for _, w := range f.workers {
+			w.mu.Lock()
+			st := w.state
+			w.mu.Unlock()
+			if st != stateCrashLoop {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			return fmt.Errorf("fleet: all %d workers exhausted their crash-loop budget", len(f.workers))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// supervise runs one worker slot's restart loop: spawn an incarnation,
+// wait for it to die, back off, repeat — until the fleet drains or the
+// crash-loop budget is gone.
+func (f *Fleet) supervise(w *worker) {
+	defer f.wg.Done()
+	for first := true; ; first = false {
+		if f.isDraining() {
+			f.setState(w, stateStopped)
+			return
+		}
+		w.mu.Lock()
+		fails := w.startFails
+		w.mu.Unlock()
+		if fails >= f.cfg.CrashLoopBudget {
+			f.setState(w, stateCrashLoop)
+			return
+		}
+		if !first {
+			f.restarts.Add(1)
+			f.mRestarts.Inc()
+			w.mu.Lock()
+			w.restarts++
+			w.mu.Unlock()
+		}
+		becameHealthy := f.runOnce(w)
+		f.ring.remove(w.ringID)
+		w.mu.Lock()
+		w.proc = nil
+		w.addr = ""
+		if becameHealthy {
+			w.startFails = 0
+		} else {
+			w.startFails++
+		}
+		fails = w.startFails
+		w.state = stateBackoff
+		w.mu.Unlock()
+		if f.isDraining() {
+			f.setState(w, stateStopped)
+			return
+		}
+		if fails >= f.cfg.CrashLoopBudget {
+			continue // loop top marks crashloop and exits
+		}
+		delay := f.jitter(backoffFor(f.cfg.RestartBackoff, f.cfg.RestartBackoffMax, fails))
+		select {
+		case <-time.After(delay):
+		case <-f.draining:
+			f.setState(w, stateStopped)
+			return
+		}
+	}
+}
+
+// runOnce runs one incarnation of w: spawn, learn the bound address
+// from the "listening on" stderr line, probe /readyz until ready,
+// publish on the ring, then block until the process exits (stderr EOF
+// is the death signal — it fires for SIGKILL as reliably as for a
+// clean exit). Reports whether this incarnation ever became healthy.
+func (f *Fleet) runOnce(w *worker) bool {
+	cmd := f.cfg.WorkerCommand(w.id)
+	if cmd == nil {
+		return false
+	}
+	setPdeathsig(cmd)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return false
+	}
+	if err := cmd.Start(); err != nil {
+		return false
+	}
+	f.setState(w, stateStarting)
+	w.mu.Lock()
+	w.proc = cmd.Process
+	w.pid = cmd.Process.Pid
+	w.probeFails = 0
+	w.mu.Unlock()
+
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 4096), 256*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			fmt.Fprintf(f.cfg.WorkerOutput, "[worker %d] %s\n", w.id, line)
+		}
+	}()
+	reap := func() {
+		<-scanDone
+		_ = cmd.Wait()
+	}
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-scanDone: // died before binding
+		_ = cmd.Wait()
+		return false
+	case <-time.After(f.cfg.StartupTimeout):
+		_ = cmd.Process.Kill()
+		reap()
+		return false
+	case <-f.draining:
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		reap()
+		return false
+	}
+	w.mu.Lock()
+	w.addr = addr
+	w.mu.Unlock()
+
+	healthy := f.awaitReady(addr, scanDone)
+	if healthy {
+		w.mu.Lock()
+		w.state = stateHealthy
+		w.probeFails = 0
+		w.mu.Unlock()
+		f.ring.add(w.ringID)
+	} else if !f.isDraining() {
+		// Bound but never became ready within the startup budget:
+		// treat as a failed start and recycle the process.
+		_ = cmd.Process.Kill()
+	}
+	reap()
+	return healthy
+}
+
+// awaitReady polls /readyz until it passes, the worker dies, the fleet
+// drains, or the startup budget runs out.
+func (f *Fleet) awaitReady(addr string, dead <-chan struct{}) bool {
+	deadline := time.Now().Add(f.cfg.StartupTimeout)
+	for time.Now().Before(deadline) {
+		if res, _ := f.probeOnce(addr); res == probeHealthy {
+			return true
+		}
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-dead:
+			return false
+		case <-f.draining:
+			return false
+		}
+	}
+	return false
+}
+
+type probeResult int
+
+const (
+	probeHealthy probeResult = iota
+	probeDraining
+	probeFailed
+)
+
+// probeOnce GETs a worker's /readyz and classifies the answer using
+// the JSON body: 200 is healthy, 503 with status "draining" is a
+// deliberate wind-down (not a failure), anything else — including a
+// refused connection — is a failure.
+func (f *Fleet) probeOnce(addr string) (probeResult, server.Health) {
+	resp, err := f.probeClient.Get("http://" + addr + "/readyz")
+	if err != nil {
+		return probeFailed, server.Health{}
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return probeHealthy, h
+	case resp.StatusCode == http.StatusServiceUnavailable && h.Status == "draining":
+		return probeDraining, h
+	default:
+		return probeFailed, h
+	}
+}
+
+// probeLoop is the fleet's health prober: every ProbeInterval it
+// checks each worker that has a bound address, ejecting those that
+// fail EjectAfter consecutive probes and reinstating them the moment
+// a probe passes again. Ejection and death are different paths on
+// purpose: an ejected worker's process is alive (maybe wedged, maybe
+// just slow under load) so the supervisor leaves it alone, while a
+// dead worker's supervise loop restarts it.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.draining:
+			return
+		case <-t.C:
+		}
+		for _, w := range f.workers {
+			w.mu.Lock()
+			st, addr := w.state, w.addr
+			w.mu.Unlock()
+			if addr == "" || (st != stateHealthy && st != stateEjected && st != stateDraining) {
+				continue
+			}
+			res, _ := f.probeOnce(addr)
+			w.mu.Lock()
+			if w.addr != addr { // incarnation changed under us; stale result
+				w.mu.Unlock()
+				continue
+			}
+			switch res {
+			case probeHealthy:
+				w.probeFails = 0
+				if w.state == stateEjected || w.state == stateDraining {
+					w.state = stateHealthy
+					f.ring.add(w.ringID)
+				}
+			case probeDraining:
+				if w.state != stateDraining {
+					w.state = stateDraining
+					f.ring.remove(w.ringID)
+				}
+			case probeFailed:
+				w.probeFails++
+				if w.probeFails >= f.cfg.EjectAfter && w.state == stateHealthy {
+					w.state = stateEjected
+					f.ring.remove(w.ringID)
+					f.ejections.Add(1)
+					f.mEjections.Inc()
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+func (f *Fleet) setState(w *worker, st workerState) {
+	w.mu.Lock()
+	w.state = st
+	w.mu.Unlock()
+}
+
+func (f *Fleet) isDraining() bool {
+	select {
+	case <-f.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// jitter applies the fleet's seeded jitter source to a delay.
+func (f *Fleet) jitter(d time.Duration) time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return jittered(d, f.rng)
+}
+
+// KillWorker delivers SIGKILL to worker i if it is currently healthy —
+// the chaos drill's hook for uncontainable worker death. Reports
+// whether a signal was delivered (false when the worker is already
+// down, restarting, or the index is out of range), so a drill can
+// count exactly the kills that must produce restarts.
+func (f *Fleet) KillWorker(i int) bool {
+	if i < 0 || i >= len(f.workers) {
+		return false
+	}
+	w := f.workers[i]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state != stateHealthy || w.proc == nil {
+		return false
+	}
+	return w.proc.Kill() == nil
+}
+
+// Restarts reports the total worker respawns so far.
+func (f *Fleet) Restarts() uint64 { return f.restarts.Load() }
+
+// Ejections reports the total probe-driven ring ejections so far.
+func (f *Fleet) Ejections() uint64 { return f.ejections.Load() }
+
+// BeginDrain stops admissions: new /run requests get 503, /readyz
+// flips to 503, and the supervisor stops restarting workers.
+// Idempotent.
+func (f *Fleet) BeginDrain() {
+	f.drainOnce.Do(func() { close(f.draining) })
+}
+
+// Shutdown drains the fleet: stop admissions, let every request the
+// router already admitted finish (they keep retrying against live
+// workers), then SIGTERM every worker — each drains its own admitted
+// work under the server's drain contract — and reap the children.
+// Stragglers past DrainTimeout are SIGKILLed, which is reported as an
+// error because it means admitted work may have been cut.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	f.BeginDrain()
+
+	// Phase 1: in-flight router requests.
+	inflightDone := make(chan struct{})
+	go func() {
+		f.inflight.Wait()
+		close(inflightDone)
+	}()
+	select {
+	case <-inflightDone:
+	case <-time.After(f.cfg.DrainTimeout):
+	case <-ctx.Done():
+	}
+
+	// Phase 2: worker drains. SIGTERM triggers each worker's own
+	// graceful drain; its process exit unblocks its supervise loop.
+	for _, w := range f.workers {
+		w.mu.Lock()
+		if w.proc != nil {
+			_ = w.proc.Signal(syscall.SIGTERM)
+		}
+		w.mu.Unlock()
+	}
+	loopsDone := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(loopsDone)
+	}()
+	select {
+	case <-loopsDone:
+		return nil
+	case <-time.After(f.cfg.DrainTimeout):
+	case <-ctx.Done():
+	}
+	for _, w := range f.workers {
+		w.mu.Lock()
+		if w.proc != nil {
+			_ = w.proc.Kill()
+		}
+		w.mu.Unlock()
+	}
+	<-loopsDone
+	return errors.New("fleet: drain timeout; straggling workers were killed")
+}
+
+// ListenAndServe starts the workers, binds addr and routes until ctx
+// is cancelled (the CLI wires SIGTERM/SIGINT here), then drains the
+// router and the workers. Returns nil after a clean drain.
+func (f *Fleet) ListenAndServe(ctx context.Context, addr string) error {
+	if err := f.Start(); err != nil {
+		_ = f.Shutdown(context.Background())
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = f.Shutdown(context.Background())
+		return err
+	}
+	if f.OnListen != nil {
+		f.OnListen(ln.Addr())
+	}
+	hs := &http.Server{Handler: f.mux}
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		f.BeginDrain()
+		dctx, cancel := context.WithTimeout(context.Background(), f.cfg.DrainTimeout)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(dctx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		_ = f.Shutdown(context.Background())
+		return err
+	}
+	herr := <-shutdownDone
+	serr := f.Shutdown(context.Background())
+	if herr != nil {
+		return fmt.Errorf("drain: %w", herr)
+	}
+	return serr
+}
+
+// Status snapshots the fleet for /healthz, /readyz and tests.
+type Status struct {
+	// Status is "ok" (≥1 routable worker), "no_workers" (empty ring)
+	// or "draining".
+	Status string `json:"status"`
+	// Healthy is the number of workers currently on the ring.
+	Healthy   int            `json:"healthy"`
+	Served    uint64         `json:"served"`
+	Retries   uint64         `json:"retries"`
+	Restarts  uint64         `json:"restarts"`
+	Ejections uint64         `json:"ejections"`
+	Workers   []WorkerStatus `json:"workers"`
+}
+
+// WorkerStatus is one worker slot's lifecycle snapshot.
+type WorkerStatus struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	Addr       string `json:"addr,omitempty"`
+	PID        int    `json:"pid,omitempty"`
+	Restarts   uint64 `json:"restarts"`
+	ProbeFails int    `json:"probe_fails,omitempty"`
+	StartFails int    `json:"start_fails,omitempty"`
+}
+
+// Status reports the fleet's current shape.
+func (f *Fleet) Status() Status {
+	st := Status{
+		Healthy:   f.ring.size(),
+		Served:    f.served.Load(),
+		Retries:   f.retries.Load(),
+		Restarts:  f.restarts.Load(),
+		Ejections: f.ejections.Load(),
+	}
+	switch {
+	case f.isDraining():
+		st.Status = "draining"
+	case st.Healthy == 0:
+		st.Status = "no_workers"
+	default:
+		st.Status = "ok"
+	}
+	for _, w := range f.workers {
+		w.mu.Lock()
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:         w.id,
+			State:      string(w.state),
+			Addr:       w.addr,
+			PID:        w.pid,
+			Restarts:   w.restarts,
+			ProbeFails: w.probeFails,
+			StartFails: w.startFails,
+		})
+		w.mu.Unlock()
+	}
+	return st
+}

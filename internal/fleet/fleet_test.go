@@ -1,0 +1,464 @@
+package fleet
+
+// Supervision integration tests with real subprocesses. The worker
+// processes are this very test binary re-executed: TestMain checks
+// FLEET_TEST_WORKER before running any tests and, when set, becomes a
+// worker instead — "serve" runs a real internal/server instance (so
+// routed responses are byte-identical to single-server ones), "exit1"
+// dies immediately (the crash-loop case). Faults are injected with
+// real signals (SIGKILL, SIGSTOP/SIGCONT), not mocks: that is the
+// point of the package.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"selspec/internal/obs"
+	"selspec/internal/server"
+)
+
+func TestMain(m *testing.M) {
+	switch os.Getenv("FLEET_TEST_WORKER") {
+	case "serve":
+		workerServe()
+		return
+	case "exit1":
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// workerServe runs a real specialization server the way `selspec
+// serve` would: ephemeral port, "listening on" line on stderr, metrics
+// registry, SIGTERM drain.
+func workerServe() {
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{
+		DefaultTimeout: 20 * time.Second,
+		Metrics:        reg,
+	})
+	srv.OnListen = func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "listening on %s\n", a)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, "127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// workerCmd builds a re-exec of this test binary in the given worker
+// mode.
+func workerCmd(mode string) func(int) *exec.Cmd {
+	return func(int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(), "FLEET_TEST_WORKER="+mode)
+		return cmd
+	}
+}
+
+// newSubprocFleet starts a fleet of real worker subprocesses and tears
+// it down at test end.
+func newSubprocFleet(t *testing.T, workers int, mutate func(*Config)) *Fleet {
+	t.Helper()
+	cfg := Config{
+		Workers:        workers,
+		WorkerCommand:  workerCmd("serve"),
+		WorkerOutput:   io.Discard,
+		ProbeInterval:  50 * time.Millisecond,
+		RestartBackoff: 25 * time.Millisecond, RestartBackoffMax: 200 * time.Millisecond,
+		RetryBackoff: 5 * time.Millisecond,
+		DrainTimeout: 20 * time.Second,
+		Seed:         1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := f.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return f
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// drillProg is small enough to finish fast but still exercises
+// dispatch and printing, so responses have a non-trivial body to
+// compare byte-for-byte.
+const drillProg = `
+class A
+class B isa A
+method m(x@A) { 3; }
+method m(x@B) { 4; }
+method main() {
+  var total := 0;
+  var i := 0;
+  while i < 20 {
+    total := total + m(new A()) + m(new B());
+    i := i + 1;
+  }
+  println("drill " + str(total));
+  total;
+}
+`
+
+func postFleet(t *testing.T, f *Fleet, req server.RunRequest) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/run", strings.NewReader(string(body))))
+	data, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, data
+}
+
+// TestFleetChaosDrill is the PR's acceptance drill: a storm of
+// requests through the router while workers are SIGKILLed at random.
+// Every request must either return the byte-correct answer or a
+// classified retryable error; afterwards every killed worker must have
+// rejoined and the restart counter must equal the kill count exactly.
+func TestFleetChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos drill")
+	}
+	const (
+		workers  = 3
+		storm    = 80
+		parallel = 8
+	)
+	f := newSubprocFleet(t, workers, func(c *Config) {
+		c.Metrics = obs.NewRegistry()
+		c.DefaultTimeout = 20 * time.Second
+		c.MaxRetries = 3
+	})
+	waitFor(t, 15*time.Second, "all workers healthy", func() bool { return f.ring.size() == workers })
+
+	// The reference answer, served before any chaos.
+	code, want := postFleet(t, f, server.RunRequest{Source: drillProg})
+	if code != http.StatusOK {
+		t.Fatalf("reference request failed: %d %s", code, want)
+	}
+
+	var (
+		mu      sync.Mutex
+		badBody []string
+		codes   = map[int]int{}
+	)
+	record := func(code int, body []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		codes[code]++
+		switch code {
+		case http.StatusOK:
+			if string(body) != string(want) {
+				badBody = append(badBody, fmt.Sprintf("%q", body))
+			}
+		case http.StatusTooManyRequests, 499,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// classified, retryable-by-client outcomes
+		default:
+			badBody = append(badBody, fmt.Sprintf("status %d: %q", code, body))
+		}
+	}
+	// wave fires n concurrent requests and returns after all complete.
+	wave := func(n int) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, parallel)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				code, body := postFleet(t, f, server.RunRequest{Source: drillProg})
+				record(code, body)
+			}()
+		}
+		return &wg
+	}
+	// killOne SIGKILLs a random healthy worker, retrying the pick until
+	// a signal is actually delivered — guaranteeing every drill run
+	// exercises real worker death, however fast the request waves go.
+	rng := rand.New(rand.NewSource(7))
+	killOne := func() {
+		waitFor(t, 15*time.Second, "a healthy worker to kill", func() bool {
+			return f.KillWorker(rng.Intn(workers))
+		})
+	}
+
+	// The storm: four waves, with a SIGKILL landing while each of the
+	// middle waves is in flight, so requests race real worker deaths.
+	// Each kill waits for the previous victim to rejoin first — a kill
+	// must always hit a live incarnation, keeping kills == restarts an
+	// exact invariant rather than a lower bound.
+	const kills = 3
+	wave(storm / 4).Wait()
+	for k := 0; k < kills; k++ {
+		waitFor(t, 20*time.Second, "full ring before next kill", func() bool {
+			return f.ring.size() == workers
+		})
+		wg := wave(storm / 4)
+		time.Sleep(10 * time.Millisecond) // let the wave get airborne
+		killOne()
+		wg.Wait()
+	}
+
+	t.Logf("storm outcome: codes=%v kills=%d", codes, kills)
+	if len(badBody) > 0 {
+		t.Fatalf("%d wrong responses during chaos, e.g.:\n%s", len(badBody), strings.Join(badBody[:min(3, len(badBody))], "\n"))
+	}
+	if codes[http.StatusOK] == 0 {
+		t.Fatal("no request succeeded during the storm")
+	}
+
+	// Killed workers rejoin, and restarts account for every kill: the
+	// supervisor observed each SIGKILL (restarts ≥ kills because a
+	// respawned worker may be killed again before counting settles —
+	// but with KillWorker gating on healthy, each kill is one restart).
+	waitFor(t, 20*time.Second, "killed workers to rejoin", func() bool { return f.ring.size() == workers })
+	waitFor(t, 10*time.Second, "restart counter to match kills", func() bool { return f.Restarts() == uint64(kills) })
+
+	// And the fleet still serves the byte-correct answer.
+	code, after := postFleet(t, f, server.RunRequest{Source: drillProg})
+	if code != http.StatusOK || string(after) != string(want) {
+		t.Fatalf("post-chaos request: %d %q, want 200 %q", code, after, want)
+	}
+}
+
+func TestCrashLoopBudgetGivesUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cfg := Config{
+		Workers:        1,
+		WorkerCommand:  workerCmd("exit1"),
+		WorkerOutput:   io.Discard,
+		RestartBackoff: 5 * time.Millisecond, RestartBackoffMax: 20 * time.Millisecond,
+		CrashLoopBudget: 3,
+		StartupTimeout:  5 * time.Second,
+		Seed:            1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err == nil {
+		t.Fatal("Start succeeded although every incarnation exits 1")
+	}
+	st := f.Status()
+	if st.Workers[0].State != string(stateCrashLoop) {
+		t.Errorf("worker state %q, want crashloop", st.Workers[0].State)
+	}
+	// Budget incarnations ran; the first is a start, not a restart.
+	if got := f.Restarts(); got != uint64(cfg.CrashLoopBudget-1) {
+		t.Errorf("restarts = %d, want %d", got, cfg.CrashLoopBudget-1)
+	}
+	// A fleet with no workers degrades to 503, not a hang.
+	code, body := postFleet(t, f, server.RunRequest{Bench: "Richards"})
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("run against dead fleet: %d %s, want 503", code, body)
+	}
+	if err := f.Shutdown(context.Background()); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestWorkerReinstatedAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	f := newSubprocFleet(t, 2, nil)
+	waitFor(t, 15*time.Second, "both workers healthy", func() bool { return f.ring.size() == 2 })
+
+	if !f.KillWorker(0) {
+		t.Fatal("KillWorker(0) delivered nothing")
+	}
+	// Death is observed (off the ring) and then healed: same ring
+	// identity, new PID.
+	oldPID := f.Status().Workers[0].PID
+	waitFor(t, 10*time.Second, "worker 0 to leave the ring", func() bool { return f.ring.size() == 1 })
+	waitFor(t, 15*time.Second, "worker 0 to rejoin", func() bool { return f.ring.size() == 2 })
+	st := f.Status()
+	if st.Workers[0].PID == oldPID {
+		t.Errorf("worker 0 rejoined with the same PID %d; expected a fresh process", oldPID)
+	}
+	if f.Restarts() != 1 {
+		t.Errorf("restarts = %d, want 1", f.Restarts())
+	}
+	// Service works throughout.
+	if code, body := postFleet(t, f, server.RunRequest{Source: drillProg}); code != http.StatusOK {
+		t.Errorf("post-restart request: %d %s", code, body)
+	}
+}
+
+func TestProbeEjectsWedgedWorkerAndReinstates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	f := newSubprocFleet(t, 2, func(c *Config) {
+		c.ProbeInterval = 40 * time.Millisecond
+		c.ProbeTimeout = 150 * time.Millisecond
+		c.EjectAfter = 2
+	})
+	waitFor(t, 15*time.Second, "both workers healthy", func() bool { return f.ring.size() == 2 })
+
+	// SIGSTOP wedges the process without killing it: the supervisor
+	// must NOT restart it (the process is alive), the prober must eject
+	// it from the ring.
+	pid := f.Status().Workers[0].PID
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "wedged worker ejection", func() bool {
+		st := f.Status()
+		return st.Workers[0].State == string(stateEjected) && st.Healthy == 1
+	})
+	if f.Ejections() == 0 {
+		t.Error("ejection not counted")
+	}
+	if f.Restarts() != 0 {
+		t.Errorf("supervisor restarted a live (stopped) worker: restarts=%d", f.Restarts())
+	}
+	// While one worker is out, the other serves its keys.
+	if code, body := postFleet(t, f, server.RunRequest{Source: drillProg}); code != http.StatusOK {
+		t.Errorf("request during ejection: %d %s", code, body)
+	}
+
+	if err := syscall.Kill(pid, syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "wedged worker reinstatement", func() bool {
+		st := f.Status()
+		return st.Workers[0].State == string(stateHealthy) && st.Healthy == 2
+	})
+	if got := f.Status().Workers[0].PID; got != pid {
+		t.Errorf("reinstated worker has PID %d, want the original %d (no restart)", got, pid)
+	}
+}
+
+func TestDrainWithDeadWorkerExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cfg := Config{
+		Workers:       2,
+		WorkerCommand: workerCmd("serve"),
+		WorkerOutput:  io.Discard,
+		ProbeInterval: 50 * time.Millisecond,
+		// Long restart backoff: the killed worker is still in backoff
+		// when the drain starts, the worst case for reaping.
+		RestartBackoff: 30 * time.Second, RestartBackoffMax: 30 * time.Second,
+		DrainTimeout: 15 * time.Second,
+		Seed:         1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "both workers healthy", func() bool { return f.ring.size() == 2 })
+	if !f.KillWorker(1) {
+		t.Fatal("KillWorker(1) delivered nothing")
+	}
+	waitFor(t, 10*time.Second, "worker 1 off the ring", func() bool { return f.ring.size() == 1 })
+
+	start := time.Now()
+	if err := f.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown with a dead worker: %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("drain took %v; a dead worker must not hold up the drain", el)
+	}
+	for _, ws := range f.Status().Workers {
+		if ws.State != string(stateStopped) {
+			t.Errorf("worker %d state %q after drain, want stopped", ws.ID, ws.State)
+		}
+	}
+}
+
+func TestMergedMetricsMatchFleetTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	reg := obs.NewRegistry()
+	f := newSubprocFleet(t, 2, func(c *Config) { c.Metrics = reg })
+	waitFor(t, 15*time.Second, "both workers healthy", func() bool { return f.ring.size() == 2 })
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		// Distinct sources spread the keys across both workers.
+		src := fmt.Sprintf("method main() { %d; }", i)
+		if code, body := postFleet(t, f, server.RunRequest{Source: src}); code != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, code, body)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	out := rec.Body.String()
+	// The merged view must account for every request exactly once:
+	// worker-side served counters sum to n, router-side counter says n,
+	// and per-worker attempt counters sum to n (no kills → no retries).
+	for _, want := range []string{
+		fmt.Sprintf("selspec_server_served_total %d\n", n),
+		fmt.Sprintf("selspec_fleet_requests_total %d\n", n),
+		"selspec_fleet_worker_restarts_total 0\n",
+		"selspec_fleet_retries_total 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged /metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("merged metrics:\n%s", out)
+	}
+	var attempts uint64
+	for i := range f.workers {
+		attempts += f.wReq[i].Value()
+	}
+	if attempts != n {
+		t.Errorf("per-worker attempts sum to %d, want %d", attempts, n)
+	}
+}

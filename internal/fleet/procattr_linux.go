@@ -1,0 +1,19 @@
+//go:build linux
+
+package fleet
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig asks the kernel to SIGKILL a worker if the supervisor
+// itself dies without draining (panic, OOM kill, `kill -9`). Without
+// it a dead supervisor would orphan N serve processes holding N ports.
+// Linux-only; elsewhere workers rely on the normal drain path.
+func setPdeathsig(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

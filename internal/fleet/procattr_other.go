@@ -1,0 +1,11 @@
+//go:build !linux
+
+package fleet
+
+import "os/exec"
+
+// setPdeathsig is a no-op outside Linux: parent-death signals are a
+// Linux prctl feature. Orphaned workers still exit on their own when
+// their health probes stop mattering — and the CI fleet jobs run on
+// Linux, where the real guard applies.
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// mergeProm merges Prometheus text-exposition (v0.0.4) bodies by
+// summing every series across bodies. The fleet's GET /metrics scrapes
+// each worker's registry and presents the fleet as one logical server:
+// `selspec_server_served_total` in the merged output is the number of
+// requests the whole fleet executed, and the per-stage histograms sum
+// bucket-by-bucket (cumulative bucket counts and sums are both
+// additive, so a merged histogram is exactly the histogram of the
+// union of observations, up to the usual scrape skew).
+//
+// The parser accepts exactly what obs.WritePrometheus emits — `# TYPE`
+// lines followed by `series value` lines — and is tolerant of anything
+// else (HELP lines, blanks, junk) by skipping it, so a worker running
+// a newer build cannot break the whole fleet's scrape. Family and
+// series order follow first appearance, which is registration order on
+// the workers and therefore stable across scrapes.
+func mergeProm(bodies [][]byte) []byte {
+	type fam struct {
+		name, kind string
+		order      []string // series keys in first-seen order
+	}
+	var fams []*fam
+	famByName := map[string]*fam{}
+	vals := map[string]float64{}
+
+	for _, b := range bodies {
+		sc := bufio.NewScanner(bytes.NewReader(b))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.Fields(line)
+				if len(parts) == 4 && famByName[parts[2]] == nil {
+					f := &fam{name: parts[2], kind: parts[3]}
+					famByName[parts[2]] = f
+					fams = append(fams, f)
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			series, valStr := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				continue
+			}
+			name := series
+			if i := strings.IndexByte(series, '{'); i >= 0 {
+				name = series[:i]
+			}
+			// A histogram family x owns the x_bucket/x_sum/x_count
+			// series; group them under its TYPE line.
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					if f := famByName[strings.TrimSuffix(name, suf)]; f != nil && f.kind == "histogram" {
+						base = strings.TrimSuffix(name, suf)
+						break
+					}
+				}
+			}
+			f := famByName[base]
+			if f == nil {
+				f = &fam{name: base, kind: "counter"}
+				famByName[base] = f
+				fams = append(fams, f)
+			}
+			if _, seen := vals[series]; !seen {
+				f.order = append(f.order, series)
+			}
+			vals[series] += v
+		}
+	}
+
+	var buf bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.order {
+			v := vals[s]
+			// Counters and bucket counts are integral; render them the
+			// way a single registry would so scrapers and the CI smoke
+			// can grep for exact lines.
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				fmt.Fprintf(&buf, "%s %d\n", s, int64(v))
+			} else {
+				fmt.Fprintf(&buf, "%s %s\n", s, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selspec/internal/obs"
+)
+
+func TestMergePromSumsCountersAcrossBodies(t *testing.T) {
+	a := []byte(`# TYPE selspec_server_served_total counter
+selspec_server_served_total 10
+# TYPE selspec_dispatch_total counter
+selspec_dispatch_total{mech="pic"} 7
+`)
+	b := []byte(`# TYPE selspec_server_served_total counter
+selspec_server_served_total 32
+# TYPE selspec_dispatch_total counter
+selspec_dispatch_total{mech="pic"} 5
+selspec_dispatch_total{mech="vtbl"} 2
+`)
+	out := string(mergeProm([][]byte{a, b}))
+	for _, want := range []string{
+		"selspec_server_served_total 42\n",
+		`selspec_dispatch_total{mech="pic"} 12` + "\n",
+		`selspec_dispatch_total{mech="vtbl"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	// The family must be emitted exactly once, and before its series.
+	if n := strings.Count(out, "# TYPE selspec_server_served_total counter"); n != 1 {
+		t.Errorf("TYPE line emitted %d times, want 1", n)
+	}
+}
+
+func TestMergePromSumsHistogramBuckets(t *testing.T) {
+	body := []byte(`# TYPE selspec_stage_seconds histogram
+selspec_stage_seconds_bucket{stage="parse",le="0.001"} 3
+selspec_stage_seconds_bucket{stage="parse",le="+Inf"} 5
+selspec_stage_seconds_sum{stage="parse"} 0.25
+selspec_stage_seconds_count{stage="parse"} 5
+`)
+	out := string(mergeProm([][]byte{body, body}))
+	for _, want := range []string{
+		`selspec_stage_seconds_bucket{stage="parse",le="0.001"} 6`,
+		`selspec_stage_seconds_bucket{stage="parse",le="+Inf"} 10`,
+		`selspec_stage_seconds_sum{stage="parse"} 0.5`,
+		`selspec_stage_seconds_count{stage="parse"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged histogram missing %q:\n%s", want, out)
+		}
+	}
+	// The bucket/sum/count series must sit under the histogram TYPE
+	// line, not get their own counter families.
+	if strings.Contains(out, "# TYPE selspec_stage_seconds_bucket") {
+		t.Errorf("bucket series promoted to its own family:\n%s", out)
+	}
+}
+
+func TestMergePromTolerantOfJunk(t *testing.T) {
+	out := string(mergeProm([][]byte{[]byte(
+		"# HELP something or other\n\ngarbage line without value x\n# TYPE ok counter\nok 1\nok not_a_number\n")}))
+	if !strings.Contains(out, "ok 1\n") {
+		t.Errorf("valid series lost among junk:\n%s", out)
+	}
+}
+
+func TestMergePromRoundTripsRegistryOutput(t *testing.T) {
+	// A single registry body merged with itself must double every
+	// value while remaining valid exposition text in the same order.
+	reg := obs.NewRegistry()
+	reg.Counter("a_total").Add(3)
+	reg.Counter("b_total", obs.Label{Key: "k", Value: "v"}).Add(4)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := string(mergeProm([][]byte{buf.Bytes(), buf.Bytes()}))
+	for _, want := range []string{"a_total 6\n", `b_total{k="v"} 8` + "\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("round-trip merge missing %q:\n%s", want, out)
+		}
+	}
+}

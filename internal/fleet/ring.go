@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ring is the consistent-hash ring that assigns program keys to
+// workers. Every member contributes `replicas` virtual points so load
+// spreads evenly, and a key is owned by the first point clockwise from
+// its hash. The properties the router relies on:
+//
+//   - stability: adding or removing one member only remaps the keys
+//     that member owned (or now owns) — the rest keep their worker,
+//     which is the whole reason to consistent-hash: a program keeps
+//     hitting the worker whose caches are warm for it even as other
+//     workers die and rejoin;
+//   - graceful degradation: removing a dead member implicitly rehashes
+//     its keys across the survivors, no bookkeeping needed;
+//   - retry order: pick with a skip set walks clockwise past the
+//     failed owner to the next distinct member, giving every retry a
+//     deterministic, distinct target.
+//
+// Membership is keyed by a stable worker ID (not its address), so a
+// restarted worker reclaims exactly its old ring segment.
+type ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &ring{replicas: replicas, members: map[string]struct{}{}}
+}
+
+// hash64 maps a string onto the ring's 64-bit circle. sha256 matches
+// the program-key derivation in internal/server, so key distribution
+// inherits its uniformity.
+func hash64(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// add inserts a member (idempotent).
+func (r *ring) add(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		return
+	}
+	r.members[id] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, i)), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// remove deletes a member (idempotent); its keys implicitly rehash to
+// the survivors.
+func (r *ring) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// size reports the number of members currently on the ring.
+func (r *ring) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// pick returns the member owning key, skipping members in skip — the
+// retry path walks clockwise from the owner to the next distinct
+// member. Returns "" when the ring is empty or every member is
+// skipped.
+func (r *ring) pick(key string, skip map[string]bool) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	h := hash64(key)
+	idx := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < n; i++ {
+		p := r.points[(idx+i)%n]
+		if skip[p.id] {
+			continue
+		}
+		return p.id
+	}
+	return ""
+}

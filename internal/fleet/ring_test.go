@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keysFor(r *ring, n int) map[string]string {
+	owners := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owners[k] = r.pick(k, nil)
+	}
+	return owners
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := newRing(64)
+	if got := r.pick("anything", nil); got != "" {
+		t.Fatalf("empty ring picked %q", got)
+	}
+	r.add("w0")
+	if got := r.pick("anything", nil); got != "w0" {
+		t.Fatalf("single-member ring picked %q, want w0", got)
+	}
+	if got := r.pick("anything", map[string]bool{"w0": true}); got != "" {
+		t.Fatalf("all-skipped ring picked %q", got)
+	}
+}
+
+func TestRingBalancedDistribution(t *testing.T) {
+	r := newRing(64)
+	for i := 0; i < 4; i++ {
+		r.add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	for _, owner := range keysFor(r, 4000) {
+		counts[owner]++
+	}
+	// With 64 virtual nodes each, no member should own a wildly
+	// disproportionate share: expect 1000 ± a wide margin.
+	for id, c := range counts {
+		if c < 400 || c > 1800 {
+			t.Errorf("member %s owns %d of 4000 keys; distribution badly skewed", id, c)
+		}
+	}
+}
+
+func TestRingRemoveOnlyRemapsVictimKeys(t *testing.T) {
+	r := newRing(64)
+	for i := 0; i < 4; i++ {
+		r.add(fmt.Sprintf("w%d", i))
+	}
+	before := keysFor(r, 2000)
+	r.remove("w2")
+	after := keysFor(r, 2000)
+	for k, was := range before {
+		now := after[k]
+		if now == "w2" {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+		if was != "w2" && now != was {
+			t.Errorf("key %s moved %s → %s although its owner survived", k, was, now)
+		}
+	}
+	// The stability property in the other direction: re-adding the
+	// member restores exactly the original assignment.
+	r.add("w2")
+	restored := keysFor(r, 2000)
+	for k, was := range before {
+		if restored[k] != was {
+			t.Errorf("key %s not restored to %s after re-add (got %s)", k, was, restored[k])
+		}
+	}
+}
+
+func TestRingSkipWalksToDistinctMember(t *testing.T) {
+	r := newRing(64)
+	r.add("w0")
+	r.add("w1")
+	r.add("w2")
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		first := r.pick(k, nil)
+		second := r.pick(k, map[string]bool{first: true})
+		if second == "" || second == first {
+			t.Fatalf("key %s: retry pick gave %q after first %q", k, second, first)
+		}
+		third := r.pick(k, map[string]bool{first: true, second: true})
+		if third == "" || third == first || third == second {
+			t.Fatalf("key %s: third pick gave %q after %q,%q", k, third, first, second)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := newRing(8)
+	r.add("w0")
+	r.add("w0")
+	if len(r.points) != 8 {
+		t.Fatalf("double add created %d points, want 8", len(r.points))
+	}
+	r.remove("w0")
+	r.remove("w0")
+	if r.size() != 0 || len(r.points) != 0 {
+		t.Fatalf("remove left size=%d points=%d", r.size(), len(r.points))
+	}
+}

@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"selspec/internal/server"
+)
+
+// Router-specific error kinds, extending the server's set. Responses
+// produced *by a worker* pass through verbatim (their kinds included);
+// these cover the failures only the router can see.
+const (
+	// KindNoWorkers: the hash ring is empty — every worker is dead,
+	// crash-looped or draining. Retryable; Retry-After hints at the
+	// restart backoff horizon.
+	KindNoWorkers = "no_workers"
+	// KindUpstream: every attempt within the retry budget failed at
+	// the transport layer (connection refused, connection reset
+	// mid-body). The request may be retried.
+	KindUpstream = "upstream_unavailable"
+)
+
+// Sentinel classifications for one proxy attempt. proxyOnce either
+// relays a final response (done=true), or reports why it could not so
+// handleRun can decide between retrying, 499, and 504.
+var (
+	errRetryable       = errors.New("fleet: retryable attempt failure")
+	errClientGone      = errors.New("fleet: client disconnected")
+	errBudgetExhausted = errors.New("fleet: request budget exhausted")
+)
+
+// handleRun is the fleet's admission path. It owns three request-level
+// concerns the workers cannot:
+//
+//   - placement: the program key (same sha256 derivation the breaker
+//     uses) picks a consistent worker, so a given program keeps
+//     hitting warm caches;
+//   - the retry loop: a transport failure or retryable worker 5xx
+//     sends the request to the next distinct ring worker, after a
+//     jittered backoff, while budget remains — safe because runs are
+//     pure (a partially-executed replay has no observable residue);
+//   - the deadline: the budget is computed once here and its remainder
+//     propagated to every attempt via server.DeadlineHeader, so
+//     retries subdivide the promised budget instead of stacking fresh
+//     worker timeouts on top of it.
+func (f *Fleet) handleRun(w http.ResponseWriter, r *http.Request) {
+	if f.isDraining() {
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: server.KindDraining, Error: "fleet is draining", RetryAfterMS: 1000,
+		})
+		return
+	}
+	f.inflight.Add(1)
+	defer f.inflight.Done()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, f.cfg.MaxSourceBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{Kind: server.KindBadRequest, Error: "reading request body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > f.cfg.MaxSourceBytes {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{
+			Kind: server.KindBadRequest, Error: fmt.Sprintf("request body exceeds %d bytes", f.cfg.MaxSourceBytes),
+		})
+		return
+	}
+	var req server.RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{Kind: server.KindBadRequest, Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if (req.Source == "") == (req.Bench == "") {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{Kind: server.KindBadRequest, Error: "exactly one of source and bench must be set"})
+		return
+	}
+	key := server.ProgramKey(req.Source, req.Bench)
+
+	// The whole-request budget, fixed at admission. Every attempt gets
+	// the *remainder*; once it is gone the answer is 504 regardless of
+	// how many retries were nominally left.
+	budget := f.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+		if budget > f.cfg.MaxTimeout {
+			budget = f.cfg.MaxTimeout
+		}
+	}
+	deadline := time.Now().Add(budget)
+
+	f.served.Add(1)
+	f.mServed.Inc()
+
+	tried := make(map[string]bool, f.cfg.MaxRetries+1)
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			f.retries.Add(1)
+			f.mRetries.Inc()
+			delay := f.jitter(backoffFor(f.cfg.RetryBackoff, 2*time.Second, attempt-1))
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				writeErr(w, 499, server.ErrorBody{Kind: server.KindCanceled, Error: "client disconnected"})
+				return
+			}
+		}
+		id := f.ring.pick(key, tried)
+		if id == "" && len(tried) > 0 {
+			// Every distinct live worker has been tried; if any remain
+			// on the ring, start over on the owner rather than giving
+			// up while capacity exists.
+			clear(tried)
+			id = f.ring.pick(key, nil)
+		}
+		if id == "" {
+			writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+				Kind: KindNoWorkers, Error: "no healthy workers", RetryAfterMS: f.cfg.RestartBackoff.Milliseconds(),
+			})
+			return
+		}
+		tried[id] = true
+		wk := f.byRing[id]
+
+		done, err := f.proxyOnce(w, r, wk, body, deadline)
+		if done {
+			return
+		}
+		switch {
+		case errors.Is(err, errClientGone):
+			writeErr(w, 499, server.ErrorBody{Kind: server.KindCanceled, Error: "client disconnected"})
+			return
+		case errors.Is(err, errBudgetExhausted):
+			writeErr(w, http.StatusGatewayTimeout, server.ErrorBody{
+				Kind: server.KindDeadline, Error: fmt.Sprintf("request budget of %v exhausted", budget),
+			})
+			return
+		}
+		lastErr = err
+	}
+	writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+		Kind:         KindUpstream,
+		Error:        fmt.Sprintf("all %d attempts failed; last: %v", f.cfg.MaxRetries+1, lastErr),
+		RetryAfterMS: f.cfg.RetryBackoff.Milliseconds(),
+	})
+}
+
+// proxyOnce sends one attempt to one worker. Outcomes:
+//
+//   - done=true: a final response was relayed to the client verbatim
+//     (success, or any worker answer that retrying cannot improve —
+//     4xx, 504 deadline, 499 cancel);
+//   - errRetryable: transport failure or a retryable worker status
+//     (500 contained-panic escalation, 502, 503 overload/drain) — the
+//     caller moves to the next ring worker;
+//   - errClientGone / errBudgetExhausted: terminal, caller answers
+//     499 / 504.
+//
+// A worker SIGKILLed mid-response surfaces as a read error *after* a
+// 200 header; because the response is buffered before any byte reaches
+// the client, that still classifies as retryable and the client sees
+// only the clean retried answer.
+func (f *Fleet) proxyOnce(w http.ResponseWriter, r *http.Request, wk *worker, body []byte, deadline time.Time) (bool, error) {
+	wk.mu.Lock()
+	addr := wk.addr
+	wk.mu.Unlock()
+	if addr == "" {
+		return false, fmt.Errorf("%w: worker %d has no address", errRetryable, wk.id)
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false, errBudgetExhausted
+	}
+	f.wReq[wk.id].Inc()
+
+	// The worker gets the exact remaining budget via the header and a
+	// slightly laxer transport deadline, so its own 504 — which knows
+	// the pipeline stage that overran — wins the race against ours.
+	ctx, cancel := context.WithTimeout(r.Context(), remaining+f.cfg.DeadlineGrace)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/run", bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", errRetryable, err)
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(server.DeadlineHeader, strconv.FormatInt(remaining.Milliseconds(), 10))
+
+	resp, err := f.client.Do(preq)
+	if err != nil {
+		f.wErr[wk.id].Inc()
+		return false, f.classifyTransport(r, deadline, wk.id, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, f.cfg.MaxSourceBytes+(1<<20)))
+	if err != nil {
+		f.wErr[wk.id].Inc()
+		return false, f.classifyTransport(r, deadline, wk.id, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		// Retryable worker answers: contained panic (another worker may
+		// hold a healthier cache or the panic may be load-dependent),
+		// and overload/drain shedding (the very reason to have peers).
+		f.wErr[wk.id].Inc()
+		return false, fmt.Errorf("%w: worker %d answered %d", errRetryable, wk.id, resp.StatusCode)
+	}
+	relay(w, resp, respBody)
+	return true, nil
+}
+
+// classifyTransport decides what a failed attempt's error means: the
+// client hung up (terminal 499), our own deadline fired (terminal
+// 504), or the worker is unreachable (retryable).
+func (f *Fleet) classifyTransport(r *http.Request, deadline time.Time, workerID int, err error) error {
+	if r.Context().Err() != nil {
+		return errClientGone
+	}
+	if errors.Is(err, context.DeadlineExceeded) || time.Until(deadline) <= 0 {
+		return errBudgetExhausted
+	}
+	return fmt.Errorf("%w: worker %d: %v", errRetryable, workerID, err)
+}
+
+// relay copies a worker's buffered response to the client verbatim —
+// the fleet's byte-correctness contract: a routed response is
+// indistinguishable from one served by a single `selspec serve`.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// handleHealthz is router liveness: 200 as long as the router process
+// answers, whatever the workers are doing. The body is the full fleet
+// Status so one curl shows the whole topology.
+func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Status())
+}
+
+// handleReadyz is routing quorum: 200 only while at least one worker
+// is on the ring and the fleet is not draining — exactly the condition
+// under which a POST /run can be placed. A load balancer in front of
+// several fleets uses this to shift traffic during a drain.
+func (f *Fleet) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := f.Status()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, st)
+}
+
+// handleMetrics merges every reachable worker's /metrics with the
+// router's own registry, presenting the fleet as one logical server: a
+// dashboard built against single-server metric names keeps working,
+// and the selspec_fleet_* series appear alongside. Workers that fail
+// to answer are skipped — a scrape during a restart shows a dip, not
+// an error.
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if f.cfg.Metrics == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var bodies [][]byte
+	for _, wk := range f.workers {
+		wk.mu.Lock()
+		addr := wk.addr
+		wk.mu.Unlock()
+		if addr == "" {
+			continue
+		}
+		resp, err := f.probeClient.Get("http://" + addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		bodies = append(bodies, b)
+	}
+	var own bytes.Buffer
+	_ = f.cfg.Metrics.WritePrometheus(&own)
+	bodies = append(bodies, own.Bytes())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(mergeProm(bodies))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, body server.ErrorBody) {
+	if body.RetryAfterMS > 0 {
+		secs := (body.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, body)
+}

@@ -1,0 +1,392 @@
+package fleet
+
+// Router behavior against in-process httptest backends: no subprocess
+// is spawned, the ring is populated by hand, so each property — retry
+// target selection, deadline budgeting, verbatim relay, degradation
+// answers — is tested in isolation from supervision timing. The
+// subprocess integration lives in fleet_test.go.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selspec/internal/obs"
+	"selspec/internal/server"
+)
+
+// staticFleet builds a Fleet whose supervisor never runs; tests attach
+// backend addresses directly.
+func staticFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.WorkerCommand == nil {
+		// Satisfies Config validation; never invoked since these tests
+		// skip Start.
+		cfg.WorkerCommand = func(int) *exec.Cmd { return nil }
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// attach marks worker i healthy at addr and puts it on the ring.
+func attach(f *Fleet, i int, addr string) {
+	w := f.workers[i]
+	w.mu.Lock()
+	w.state = stateHealthy
+	w.addr = strings.TrimPrefix(addr, "http://")
+	w.mu.Unlock()
+	f.ring.add(w.ringID)
+}
+
+// sourceOwnedBy finds a program source whose key the ring assigns to
+// worker id, so a test controls which worker is tried first.
+func sourceOwnedBy(f *Fleet, id string) string {
+	for i := 0; ; i++ {
+		src := fmt.Sprintf("method main() { %d; }", i)
+		if f.ring.pick(server.ProgramKey(src, ""), nil) == id {
+			return src
+		}
+	}
+}
+
+// deadAddr returns an address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func postRouter(t *testing.T, f *Fleet, req server.RunRequest) (int, http.Header, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	return postRouterRaw(t, f, string(body))
+}
+
+func postRouterRaw(t *testing.T, f *Fleet, body string) (int, http.Header, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/run", strings.NewReader(body)))
+	data, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Result().Header, data
+}
+
+func TestRouterRelaysBackendResponseVerbatim(t *testing.T) {
+	const payload = `{"value":"7","output":"total 7\n","config":"Base","engine":"vm"}` + "\n"
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, payload)
+	}))
+	defer backend.Close()
+	f := staticFleet(t, Config{Workers: 1})
+	attach(f, 0, backend.URL)
+
+	code, hdr, body := postRouter(t, f, server.RunRequest{Source: "method main() { 7; }"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if string(body) != payload {
+		t.Errorf("relayed body not verbatim:\n got %q\nwant %q", body, payload)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q not relayed", ct)
+	}
+	if got := f.Status().Served; got != 1 {
+		t.Errorf("served = %d, want 1", got)
+	}
+}
+
+func TestRouterRetriesNextWorkerOnConnectionFailure(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"value":"1"}`)
+	}))
+	defer backend.Close()
+	f := staticFleet(t, Config{Workers: 2, RetryBackoff: time.Millisecond, Metrics: obs.NewRegistry()})
+	attach(f, 0, deadAddr(t)) // owner will refuse the connection
+	attach(f, 1, backend.URL)
+	src := sourceOwnedBy(f, "w0")
+
+	code, _, body := postRouter(t, f, server.RunRequest{Source: src})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if got := f.Status().Retries; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if f.wErr[0].Value() != 1 || f.wReq[1].Value() != 1 {
+		t.Errorf("per-worker counters: w0 err=%d w1 req=%d, want 1/1",
+			f.wErr[0].Value(), f.wReq[1].Value())
+	}
+}
+
+func TestRouterRetriesOnRetryable5xx(t *testing.T) {
+	// Worker 0 sheds with 503 (as an overloaded or draining serve
+	// would); the retry must land on worker 1 and succeed.
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorBody{Kind: server.KindOverloaded, Error: "queue full"})
+	}))
+	defer shed.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"value":"2"}`)
+	}))
+	defer ok.Close()
+	f := staticFleet(t, Config{Workers: 2, RetryBackoff: time.Millisecond})
+	attach(f, 0, shed.URL)
+	attach(f, 1, ok.URL)
+
+	code, _, body := postRouter(t, f, server.RunRequest{Source: sourceOwnedBy(f, "w0")})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if got := f.Status().Retries; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+func TestRouterDoesNotRetryFinalAnswers(t *testing.T) {
+	var attempts atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorBody{Kind: server.KindBadRequest, Error: "unknown benchmark"})
+	}))
+	defer backend.Close()
+	f := staticFleet(t, Config{Workers: 2, RetryBackoff: time.Millisecond})
+	attach(f, 0, backend.URL)
+	attach(f, 1, backend.URL)
+
+	code, _, body := postRouter(t, f, server.RunRequest{Bench: "Nope"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if eb := mustErr(t, body); eb.Kind != server.KindBadRequest {
+		t.Errorf("kind %q relayed, want bad_request", eb.Kind)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("worker 4xx retried: %d attempts, want 1", attempts.Load())
+	}
+}
+
+func TestRouterNoWorkersAnswers503WithRetryAfter(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 2})
+	code, hdr, body := postRouter(t, f, server.RunRequest{Bench: "Richards"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if eb := mustErr(t, body); eb.Kind != KindNoWorkers {
+		t.Errorf("kind %q, want %q", eb.Kind, KindNoWorkers)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("missing Retry-After header on empty-ring 503")
+	}
+}
+
+func TestRouterExhaustedRetriesAnswers503Upstream(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 2, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	attach(f, 0, deadAddr(t))
+	attach(f, 1, deadAddr(t))
+	code, _, body := postRouter(t, f, server.RunRequest{Bench: "Richards"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if eb := mustErr(t, body); eb.Kind != KindUpstream {
+		t.Errorf("kind %q, want %q", eb.Kind, KindUpstream)
+	}
+	if got := f.Status().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+func TestRouterDrainingRejectsRuns(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 1})
+	attach(f, 0, deadAddr(t))
+	f.BeginDrain()
+	code, _, body := postRouter(t, f, server.RunRequest{Bench: "Richards"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if eb := mustErr(t, body); eb.Kind != server.KindDraining {
+		t.Errorf("kind %q, want draining", eb.Kind)
+	}
+}
+
+func TestRouterBadRequests(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 1})
+	attach(f, 0, deadAddr(t)) // must not be contacted
+	cases := []string{
+		`{not json`,
+		`{}`,                                // neither source nor bench
+		`{"source":"x","bench":"Richards"}`, // both
+	}
+	for _, body := range cases {
+		code, _, data := postRouterRaw(t, f, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400 (%s)", body, code, data)
+		}
+	}
+	if f.wReq[0].Value() != 0 {
+		t.Errorf("bad requests reached a worker (%d attempts)", f.wReq[0].Value())
+	}
+}
+
+func TestRouterPropagatesRemainingDeadline(t *testing.T) {
+	var gotHeader atomic.Value
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(server.DeadlineHeader))
+		io.WriteString(w, `{"value":"1"}`)
+	}))
+	defer backend.Close()
+	f := staticFleet(t, Config{Workers: 1, DefaultTimeout: 30 * time.Second, MaxTimeout: 30 * time.Second})
+	attach(f, 0, backend.URL)
+
+	code, _, body := postRouter(t, f, server.RunRequest{Bench: "Richards", TimeoutMS: 5000})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	h, _ := gotHeader.Load().(string)
+	var ms int64
+	fmt.Sscanf(h, "%d", &ms)
+	if ms <= 0 || ms > 5000 {
+		t.Errorf("%s = %q, want remaining budget in (0, 5000]", server.DeadlineHeader, h)
+	}
+}
+
+func TestRouterCutsOwnDeadlineWith504(t *testing.T) {
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // a worker that never answers within any budget
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	// LIFO: release the handler before Close waits on it.
+	defer backend.Close()
+	defer close(release)
+	f := staticFleet(t, Config{Workers: 1, DeadlineGrace: 50 * time.Millisecond, MaxTimeout: time.Minute})
+	attach(f, 0, backend.URL)
+
+	start := time.Now()
+	code, _, body := postRouter(t, f, server.RunRequest{Bench: "Richards", TimeoutMS: 100})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	if eb := mustErr(t, body); eb.Kind != server.KindDeadline {
+		t.Errorf("kind %q, want deadline", eb.Kind)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("504 took %v; budget was 100ms+50ms grace", el)
+	}
+}
+
+func TestClassifyTransportTerminalCases(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 1})
+	future := time.Now().Add(time.Hour)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := httptest.NewRequest(http.MethodPost, "/run", nil).WithContext(ctx)
+	if err := f.classifyTransport(r, future, 0, errors.New("dial refused")); !errors.Is(err, errClientGone) {
+		t.Errorf("canceled client classified %v, want errClientGone", err)
+	}
+
+	r2 := httptest.NewRequest(http.MethodPost, "/run", nil)
+	if err := f.classifyTransport(r2, time.Now().Add(-time.Second), 0, errors.New("dial refused")); !errors.Is(err, errBudgetExhausted) {
+		t.Errorf("expired budget classified %v, want errBudgetExhausted", err)
+	}
+	if err := f.classifyTransport(r2, future, 0, context.DeadlineExceeded); !errors.Is(err, errBudgetExhausted) {
+		t.Errorf("deadline error classified %v, want errBudgetExhausted", err)
+	}
+	if err := f.classifyTransport(r2, future, 0, errors.New("connection refused")); !errors.Is(err, errRetryable) {
+		t.Errorf("plain dial failure classified %v, want errRetryable", err)
+	}
+}
+
+func TestRouterReadyzReflectsQuorum(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 2})
+	get := func(path string) (int, Status) {
+		rec := httptest.NewRecorder()
+		f.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var st Status
+		json.NewDecoder(rec.Result().Body).Decode(&st)
+		return rec.Code, st
+	}
+	if code, st := get("/readyz"); code != http.StatusServiceUnavailable || st.Status != "no_workers" {
+		t.Errorf("empty ring: readyz = %d/%s, want 503/no_workers", code, st.Status)
+	}
+	attach(f, 0, deadAddr(t))
+	if code, st := get("/readyz"); code != http.StatusOK || st.Status != "ok" {
+		t.Errorf("one worker: readyz = %d/%s, want 200/ok", code, st.Status)
+	}
+	// Liveness stays 200 regardless.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", code)
+	}
+	f.BeginDrain()
+	if code, st := get("/readyz"); code != http.StatusServiceUnavailable || st.Status != "draining" {
+		t.Errorf("draining: readyz = %d/%s, want 503/draining", code, st.Status)
+	}
+}
+
+func TestRouterMergedMetricsSumsWorkers(t *testing.T) {
+	mkWorker := func(served int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/metrics" {
+				fmt.Fprintf(w, "# TYPE selspec_server_served_total counter\nselspec_server_served_total %d\n", served)
+				return
+			}
+			io.WriteString(w, `{"value":"1"}`)
+		}))
+	}
+	w0, w1 := mkWorker(5), mkWorker(7)
+	defer w0.Close()
+	defer w1.Close()
+	reg := obs.NewRegistry()
+	f := staticFleet(t, Config{Workers: 2, Metrics: reg})
+	attach(f, 0, w0.URL)
+	attach(f, 1, w1.URL)
+	if code, _, _ := postRouter(t, f, server.RunRequest{Bench: "Richards"}); code != http.StatusOK {
+		t.Fatalf("seed request failed: %d", code)
+	}
+
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	out := rec.Body.String()
+	for _, want := range []string{
+		"selspec_server_served_total 12\n", // 5 + 7 across workers
+		"selspec_fleet_requests_total 1\n", // router's own series appended
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged /metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func mustErr(t *testing.T, data []byte) server.ErrorBody {
+	t.Helper()
+	var eb server.ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("bad ErrorBody %q: %v", data, err)
+	}
+	return eb
+}

@@ -57,6 +57,16 @@ type RunResponse struct {
 	Stats  *RunStats `json:"stats,omitempty"`
 }
 
+// DeadlineHeader carries the caller's *remaining* request budget in
+// milliseconds. The fleet router sets it on every proxied attempt so a
+// retried request never exceeds the budget the client was originally
+// promised: without it, router and worker would each apply their own
+// -max-timeout independently and a retry could run for up to the sum
+// of the two. A worker treats the header as an upper bound on the
+// deadline it would otherwise pick — it can only shorten a request,
+// never extend one past the server's own caps.
+const DeadlineHeader = "X-Selspec-Deadline-Ms"
+
 // Error kinds, coarser than HTTP status codes: what went wrong and
 // whether retrying can help.
 const (
@@ -83,9 +93,15 @@ type ErrorBody struct {
 }
 
 // Health is the /healthz and /readyz body: liveness plus the admission
-// and containment counters an operator (or a drain test) watches.
+// and containment counters an operator (or a drain test) watches. The
+// fleet router parses it off /readyz to distinguish a worker that is
+// *draining* (alive, finishing admitted work, will not take more) from
+// one that is *dead* (connection refused) — the two need different
+// treatment: a draining worker leaves the ring quietly, a dead one is
+// ejected and its process restarted.
 type Health struct {
 	Status       string `json:"status"` // "ok" or "draining"
+	PID          int    `json:"pid"`    // the worker process; fleet restarts are visible as a new PID
 	InFlight     int64  `json:"in_flight"`
 	Queued       int64  `json:"queued"`
 	Served       uint64 `json:"served"`

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -25,7 +26,8 @@ type breaker struct {
 	cooldown   time.Duration // open duration before a half-open trial
 	maxEntries int           // bound on tracked programs
 	entries    map[string]*circuit
-	now        func() time.Time // injectable clock for tests
+	now        func() time.Time                  // injectable clock for tests
+	jitter     func(time.Duration) time.Duration // spreads Retry-After hints; injectable for tests
 }
 
 type circuit struct {
@@ -42,7 +44,22 @@ func newBreaker(threshold int, cooldown time.Duration, maxEntries int) *breaker 
 		maxEntries: maxEntries,
 		entries:    make(map[string]*circuit),
 		now:        time.Now,
+		jitter:     retryJitter,
 	}
+}
+
+// retryJitter spreads a Retry-After hint over [d, 5d/4). Every client
+// that saw the circuit open got the same cooldown remaining, so
+// without jitter they all re-arrive in the same instant and stampede
+// the single half-open trial slot — most of them just see the circuit
+// re-rejected and synchronize on the *next* hint too. A quarter-period
+// of spread breaks the lockstep while never promising a retry earlier
+// than the circuit could possibly admit one.
+func retryJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
 }
 
 // allow reports whether a request for key may run now. When the
@@ -63,12 +80,12 @@ func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
 		return true, 0
 	}
 	if now.Before(c.openUntil) {
-		return false, c.openUntil.Sub(now)
+		return false, b.jitter(c.openUntil.Sub(now))
 	}
 	if c.trial {
 		// A half-open probe is already running; stay rejected for
 		// roughly one more cooldown rather than stampeding.
-		return false, b.cooldown
+		return false, b.jitter(b.cooldown)
 	}
 	c.trial = true
 	return true, 0

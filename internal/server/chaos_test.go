@@ -29,11 +29,11 @@ var engineNamesForChaos = [2]string{"vm", "tree"}
 type chaosKind int
 
 const (
-	chaosHealthy chaosKind = iota
-	chaosPanic             // injected compile-stage panic → 500 KindPanic
-	chaosError             // injected stage error → 422 KindProgram
-	chaosDeadline          // runaway program under a short deadline → 504
-	chaosSlowStage         // injected slow stage blowing the deadline → 504
+	chaosHealthy   chaosKind = iota
+	chaosPanic               // injected compile-stage panic → 500 KindPanic
+	chaosError               // injected stage error → 422 KindProgram
+	chaosDeadline            // runaway program under a short deadline → 504
+	chaosSlowStage           // injected slow stage blowing the deadline → 504
 )
 
 func TestChaosStorm(t *testing.T) {

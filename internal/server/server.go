@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -223,6 +224,7 @@ func (s *Server) health() Health {
 	}
 	return Health{
 		Status:       st,
+		PID:          os.Getpid(),
 		InFlight:     s.inflight.Load(),
 		Queued:       s.waiting.Load(),
 		Served:       s.served.Load(),
@@ -295,6 +297,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, ErrorBody{Kind: KindBadRequest, Error: err.Error()})
 		return
+	}
+	// A routing layer (the fleet router) that has already started the
+	// clock on this request passes the remaining budget along; it can
+	// only lower the deadline resolve picked, so a retried request
+	// never runs past what the original client was promised.
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, perr := strconv.ParseInt(h, 10, 64); perr == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < rr.timeout {
+				rr.timeout = d
+			}
+		}
 	}
 
 	// Circuit breaker: a program that keeps crashing the pipeline is
@@ -384,10 +397,10 @@ func (s *Server) resolve(req *RunRequest) (*resolved, error) {
 			return nil, fmt.Errorf("unknown benchmark %q", req.Bench)
 		}
 		rr.src, rr.train, rr.test, rr.label = b.Source, b.Train, b.Test, b.Name
-		rr.key = hashKey("bench:" + b.Name)
+		rr.key = ProgramKey("", b.Name)
 	case req.Source != "":
 		rr.src, rr.label = req.Source, "request"
-		rr.key = hashKey(req.Source)
+		rr.key = ProgramKey(req.Source, "")
 	default:
 		return nil, fmt.Errorf("one of source or bench is required")
 	}
@@ -439,6 +452,19 @@ func (s *Server) resolve(req *RunRequest) (*resolved, error) {
 func hashKey(sum string) string {
 	h := sha256.Sum256([]byte(sum))
 	return hex.EncodeToString(h[:8])
+}
+
+// ProgramKey is the canonical identity of a run request: the truncated
+// sha256 of its source (or of the canonical benchmark name). It is the
+// key the circuit breaker counts crashes under, and the key the fleet
+// router consistent-hashes by — same bytes, same worker, warm caches.
+// Exactly one of source/bench should be non-empty; bench wins when
+// both are set, matching resolve's validation order.
+func ProgramKey(source, bench string) string {
+	if bench != "" {
+		return hashKey("bench:" + bench)
+	}
+	return hashKey(source)
 }
 
 // execute runs the full pipeline for one request inside its own
