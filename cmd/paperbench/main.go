@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"selspec/internal/driver"
 	"selspec/internal/obs"
 	"selspec/internal/pipeline"
+	"selspec/internal/profdb"
 	"selspec/internal/specialize"
 )
 
@@ -215,15 +217,14 @@ func run() error {
 }
 
 func writeTrajectory(path string, s *bench.Suite, wall time.Duration, quick bool, reps int) error {
-	f, err := os.Create(path)
-	if err != nil {
+	// Render to memory first, then publish atomically: a crash mid-run
+	// leaves the previous trajectory intact instead of a torn JSON file
+	// that downstream tooling would choke on.
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, wall, quick, reps); err != nil {
 		return err
 	}
-	if err := s.WriteJSON(f, wall, quick, reps); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return profdb.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 func countResults(s *bench.Suite) int {

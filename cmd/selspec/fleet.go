@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -48,6 +49,8 @@ func runFleet(args []string) error {
 		chaosP   = fs.Float64("chaos", 0, "TESTING: per-request fault-injection probability, passed to every worker")
 		chaosK   = fs.Duration("chaos-kill", 0, "TESTING: SIGKILL a random healthy worker this often (0 = never)")
 		seed     = fs.Int64("chaos-seed", 1, "TESTING: PRNG seed for -chaos workers and the -chaos-kill picker")
+		profDir  = fs.String("profile-db", "", "base directory for per-worker profile databases (worker i persists under <dir>/worker<i>)")
+		halfLife = fs.String("profile-half-life", "", "profile decay half-life, passed to every worker")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +63,9 @@ func runFleet(args []string) error {
 	}
 	if *chaosP < 0 || *chaosP > 1 {
 		return fmt.Errorf("fleet: -chaos must be in [0,1], got %v", *chaosP)
+	}
+	if *halfLife != "" && *profDir == "" {
+		return fmt.Errorf("fleet: -profile-half-life requires -profile-db")
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -86,6 +92,16 @@ func runFleet(args []string) error {
 			}
 			if *verify {
 				wargs = append(wargs, "-verify")
+			}
+			if *profDir != "" {
+				// Each worker owns a private database directory: the
+				// router forwards /profiles for a program to its ring
+				// owner only, so a restarting worker recovers exactly
+				// the uploads it acked, from its own WAL.
+				wargs = append(wargs, "-profile-db", filepath.Join(*profDir, fmt.Sprintf("worker%d", i)))
+				if *halfLife != "" {
+					wargs = append(wargs, "-profile-half-life", *halfLife)
+				}
 			}
 			if *chaosP > 0 {
 				// Distinct per-worker seeds so the fleet's fault pattern

@@ -41,6 +41,7 @@ import (
 	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
+	"selspec/internal/profdb"
 	"selspec/internal/profile"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
@@ -77,6 +78,7 @@ func run() error {
 		stats      = flag.Bool("stats", false, "print dispatch and code-space statistics")
 		writeProf  = flag.String("profile", "", "run under Base with instrumentation and write the call-graph profile to this file")
 		useProf    = flag.String("use-profile", "", "read a previously written profile instead of running a training pass (Selective)")
+		profDBDir  = flag.String("profile-db", "", "read the aggregated profile for -bench from this profile database directory (Selective)")
 		noInline   = flag.Bool("no-inline", false, "disable inlining")
 		retTypes   = flag.Bool("return-types", false, "enable return-value class propagation (paper §6 extension)")
 		rta        = flag.Bool("instantiation", false, "enable instantiation-aware (RTA-style) class analysis")
@@ -160,7 +162,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*writeProf, data, 0o644); err != nil {
+		// Atomic write: a crash (or Ctrl-C) mid-write never leaves a
+		// torn profile behind — consumers see the old file or the new
+		// one, never a prefix.
+		if err := profdb.WriteFileAtomic(*writeProf, data, 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d arcs (total weight %d) to %s\n", cg.Len(), cg.TotalWeight(), *writeProf)
@@ -174,7 +179,32 @@ func run() error {
 	}
 	if cfg == opt.Selective {
 		var cg *profile.CallGraph
-		if *useProf != "" {
+		switch {
+		case *profDBDir != "":
+			if *benchName == "" {
+				return fmt.Errorf("-profile-db requires -bench")
+			}
+			if *useProf != "" {
+				return fmt.Errorf("-profile-db and -use-profile are mutually exclusive")
+			}
+			db, err := profdb.Open(*profDBDir, profdb.Config{})
+			if err != nil {
+				return fmt.Errorf("opening profile database: %w", err)
+			}
+			wire, werr := db.Export(*benchName)
+			db.Close()
+			if werr != nil {
+				return fmt.Errorf("profile database: %w", werr)
+			}
+			data, err := wire.Marshal()
+			if err != nil {
+				return err
+			}
+			cg = profile.NewCallGraph(p.Prog)
+			if err := cg.UnmarshalInto(data); err != nil {
+				return fmt.Errorf("database profile does not match program: %w", err)
+			}
+		case *useProf != "":
 			data, err := os.ReadFile(*useProf)
 			if err != nil {
 				return err
@@ -183,7 +213,7 @@ func run() error {
 			if err := cg.UnmarshalInto(data); err != nil {
 				return err
 			}
-		} else {
+		default:
 			ro := guards
 			ro.Overrides = train
 			cg, err = p.CollectProfile(ro)

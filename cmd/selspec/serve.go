@@ -20,8 +20,17 @@ import (
 
 	"selspec/internal/obs"
 	"selspec/internal/pipeline"
+	"selspec/internal/profdb"
 	"selspec/internal/server"
 )
+
+// orNone renders an optional flag value for log lines.
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
 
 // serveListenHook, when non-nil, receives the bound address; tests
 // listen on :0 and need the kernel-assigned port.
@@ -48,6 +57,8 @@ func runServe(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "additionally serve /metrics on this separate ops address (\"\" = main listener only)")
 		pprofOn     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics-addr listener")
 		verify      = fs.Bool("verify", false, "run the bytecode verifier over every request's compiled module before execution")
+		profDir     = fs.String("profile-db", "", "directory for the durable profile database; enables POST/GET /profiles/{program}")
+		halfLife    = fs.String("profile-half-life", "", "exponential decay half-life for aggregated profile weights (e.g. 24h; \"\" = no decay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +87,25 @@ func runServe(args []string) error {
 	restore := pipeline.SetObserver(pipeline.NewObserver(reg, nil))
 	defer restore()
 
+	// The profile database opens asynchronously: the server takes /run
+	// traffic immediately while the WAL replays, and the /profiles
+	// endpoints answer 503 + Retry-After until recovery completes.
+	var db *profdb.DB
+	if *profDir != "" {
+		hl, err := profdb.ParseHalfLife(*halfLife)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		db, err = profdb.OpenAsync(*profDir, profdb.Config{HalfLife: hl, Metrics: reg})
+		if err != nil {
+			return fmt.Errorf("serve: opening profile database: %w", err)
+		}
+		defer db.Close()
+		fmt.Fprintf(os.Stderr, "selspec serve: profile database at %s (half-life %s)\n", *profDir, orNone(*halfLife))
+	} else if *halfLife != "" {
+		return fmt.Errorf("serve: -profile-half-life requires -profile-db")
+	}
+
 	srv := server.New(server.Config{
 		MaxConcurrent:    *maxConc,
 		QueueDepth:       *queueDepth,
@@ -88,6 +118,7 @@ func runServe(args []string) error {
 		BreakerCooldown:  *breakerCool,
 		Metrics:          reg,
 		Verify:           *verify,
+		ProfileDB:        db,
 	})
 
 	if *metricsAddr != "" {

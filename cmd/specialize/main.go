@@ -13,6 +13,7 @@
 //
 //	-threshold N     specialization threshold (default 1000)
 //	-use-profile F   read the call-graph profile from F
+//	-from-db D       read the decayed aggregate from a profile database (requires -bench)
 //	-no-cascade      disable cascading specializations (§3.3 ablation)
 //	-no-combine      disable tuple combination (§3.2 ablation)
 //	-arcs            also dump the weighted call graph
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"selspec/internal/driver"
+	"selspec/internal/profdb"
 	"selspec/internal/profile"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
@@ -42,6 +44,7 @@ func run() error {
 		benchName = flag.String("bench", "", "use an embedded benchmark ("+strings.Join(programs.Names(), ", ")+") instead of a file")
 		threshold = flag.Int64("threshold", specialize.DefaultThreshold, "specialization threshold (arc invocations)")
 		useProf   = flag.String("use-profile", "", "read a call-graph profile from this file")
+		fromDB    = flag.String("from-db", "", "read the aggregated profile for -bench from this profile database directory")
 		noCascade = flag.Bool("no-cascade", false, "disable cascadeSpecializations")
 		noCombine = flag.Bool("no-combine", false, "disable tuple combination")
 		dumpArcs  = flag.Bool("arcs", false, "dump the weighted call graph")
@@ -75,7 +78,36 @@ func run() error {
 	}
 
 	var cg *profile.CallGraph
-	if *useProf != "" {
+	switch {
+	case *fromDB != "":
+		// The database is keyed by benchmark name; a file program has no
+		// stable identity to look up.
+		if *benchName == "" {
+			return fmt.Errorf("-from-db requires -bench")
+		}
+		if *useProf != "" {
+			return fmt.Errorf("-from-db and -use-profile are mutually exclusive")
+		}
+		// Open replays the WAL synchronously, so the export reflects
+		// exactly the acked uploads — same bytes a restart would serve.
+		db, err := profdb.Open(*fromDB, profdb.Config{})
+		if err != nil {
+			return fmt.Errorf("opening profile database: %w", err)
+		}
+		defer db.Close()
+		wire, err := db.Export(*benchName)
+		if err != nil {
+			return fmt.Errorf("profile database: %w", err)
+		}
+		data, err := wire.Marshal()
+		if err != nil {
+			return err
+		}
+		cg = profile.NewCallGraph(p.Prog)
+		if err := cg.UnmarshalInto(data); err != nil {
+			return fmt.Errorf("database profile does not match program: %w", err)
+		}
+	case *useProf != "":
 		data, err := os.ReadFile(*useProf)
 		if err != nil {
 			return err
@@ -84,7 +116,7 @@ func run() error {
 		if err := cg.UnmarshalInto(data); err != nil {
 			return err
 		}
-	} else {
+	default:
 		cg, err = p.CollectProfile(driver.RunOptions{Overrides: train, StepLimit: *stepLimit})
 		if err != nil {
 			return fmt.Errorf("training run: %w", err)

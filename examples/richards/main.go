@@ -23,6 +23,7 @@ import (
 	"selspec/internal/driver"
 	"selspec/internal/interp"
 	"selspec/internal/opt"
+	"selspec/internal/profdb"
 	"selspec/internal/profile"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
@@ -45,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(profPath, data, 0o644); err != nil {
+	if err := profdb.WriteFileAtomic(profPath, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("training profile: %d arcs, total weight %d → %s\n",

@@ -214,6 +214,7 @@ type worker struct {
 	restarts   uint64 // respawns after the initial spawn
 	probeFails int    // consecutive failed probes
 	startFails int    // consecutive incarnations that never became healthy
+	profdb     string // worker's profile-database state from its last probe
 }
 
 // listenRe extracts the bound address from a worker's startup line
@@ -240,12 +241,14 @@ type Fleet struct {
 	rng   *rand.Rand
 
 	served    atomic.Uint64
+	profiles  atomic.Uint64 // /profiles requests forwarded (kept apart from served: existing drills assert exact /run counts)
 	retries   atomic.Uint64
 	restarts  atomic.Uint64
 	ejections atomic.Uint64
 	// Registry mirrors of the atomics (nil and free when Metrics is
 	// unset; obs instruments are nil-safe).
 	mServed, mRetries, mRestarts, mEjections *obs.Counter
+	mProfiles                                *obs.Counter
 	wReq, wErr                               []*obs.Counter
 
 	mux *http.ServeMux
@@ -276,6 +279,7 @@ func New(cfg Config) (*Fleet, error) {
 		rng:         rand.New(rand.NewSource(seed)),
 	}
 	f.mServed = cfg.Metrics.Counter("selspec_fleet_requests_total")
+	f.mProfiles = cfg.Metrics.Counter("selspec_fleet_profile_requests_total")
 	f.mRetries = cfg.Metrics.Counter("selspec_fleet_retries_total")
 	f.mRestarts = cfg.Metrics.Counter("selspec_fleet_worker_restarts_total")
 	f.mEjections = cfg.Metrics.Counter("selspec_fleet_ejections_total")
@@ -288,6 +292,8 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("POST /run", f.handleRun)
+	f.mux.HandleFunc("POST /profiles/{program}", f.handleProfiles)
+	f.mux.HandleFunc("GET /profiles/{program}", f.handleProfiles)
 	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
 	f.mux.HandleFunc("GET /readyz", f.handleReadyz)
 	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
@@ -540,12 +546,13 @@ func (f *Fleet) probeLoop() {
 			if addr == "" || (st != stateHealthy && st != stateEjected && st != stateDraining) {
 				continue
 			}
-			res, _ := f.probeOnce(addr)
+			res, h := f.probeOnce(addr)
 			w.mu.Lock()
 			if w.addr != addr { // incarnation changed under us; stale result
 				w.mu.Unlock()
 				continue
 			}
+			w.profdb = h.ProfDB
 			switch res {
 			case probeHealthy:
 				w.probeFails = 0
@@ -722,6 +729,7 @@ type Status struct {
 	// Healthy is the number of workers currently on the ring.
 	Healthy   int            `json:"healthy"`
 	Served    uint64         `json:"served"`
+	Profiles  uint64         `json:"profiles"` // /profiles requests forwarded
 	Retries   uint64         `json:"retries"`
 	Restarts  uint64         `json:"restarts"`
 	Ejections uint64         `json:"ejections"`
@@ -737,6 +745,11 @@ type WorkerStatus struct {
 	Restarts   uint64 `json:"restarts"`
 	ProbeFails int    `json:"probe_fails,omitempty"`
 	StartFails int    `json:"start_fails,omitempty"`
+	// ProfDB is the worker's profile-database state from its last
+	// health probe ("recovering", "ready", "failed"); empty when the
+	// fleet runs without -profile-db. A "recovering" worker still takes
+	// /run traffic — only its /profiles endpoints are waiting.
+	ProfDB string `json:"profdb,omitempty"`
 }
 
 // Status reports the fleet's current shape.
@@ -744,6 +757,7 @@ func (f *Fleet) Status() Status {
 	st := Status{
 		Healthy:   f.ring.size(),
 		Served:    f.served.Load(),
+		Profiles:  f.profiles.Load(),
 		Retries:   f.retries.Load(),
 		Restarts:  f.restarts.Load(),
 		Ejections: f.ejections.Load(),
@@ -766,6 +780,7 @@ func (f *Fleet) Status() Status {
 			Restarts:   w.restarts,
 			ProbeFails: w.probeFails,
 			StartFails: w.startFails,
+			ProfDB:     w.profdb,
 		})
 		w.mu.Unlock()
 	}

@@ -1,0 +1,176 @@
+package fleet
+
+// Router behavior for /profiles/{program}: owner-only forwarding with
+// no cross-worker retry (each worker owns a private database, so a
+// replayed ingest against a non-owner would fork the aggregate), and
+// topology reflection of each worker's profile-database state.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"selspec/internal/server"
+)
+
+func profileReq(t *testing.T, f *Fleet, method, program, body string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest(method, "/profiles/"+program, strings.NewReader(body)))
+	data, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, data
+}
+
+// programOwnedBy finds a program name the ring assigns to worker id.
+func programOwnedBy(f *Fleet, id string) string {
+	for i := 0; ; i++ {
+		name := "Bench" + strings.Repeat("x", i%3) + string(rune('A'+i%26))
+		if f.ring.pick(server.ProgramKey("", name), nil) == id {
+			return name
+		}
+		if i > 10000 {
+			panic("no owned program found")
+		}
+	}
+}
+
+func TestRouterProfilesForwardOwnerOnly(t *testing.T) {
+	var hits [2]atomic.Int64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"program":"X","seq":1}`)
+		}))
+	}
+	b0, b1 := mk(0), mk(1)
+	defer b0.Close()
+	defer b1.Close()
+
+	f := staticFleet(t, Config{Workers: 2})
+	attach(f, 0, b0.URL)
+	attach(f, 1, b1.URL)
+	prog := programOwnedBy(f, "w0")
+
+	for i := 0; i < 5; i++ {
+		code, body := profileReq(t, f, http.MethodPost, prog, `{"version":1,"arcs":[]}`)
+		if code != http.StatusOK {
+			t.Fatalf("upload %d = %d: %s", i, code, body)
+		}
+	}
+	// Exports route to the same owner as uploads.
+	if code, _ := profileReq(t, f, http.MethodGet, prog, ""); code != http.StatusOK {
+		t.Fatal("export failed")
+	}
+	if got0, got1 := hits[0].Load(), hits[1].Load(); got0 != 6 || got1 != 0 {
+		t.Fatalf("hits = [%d %d], want all 6 on the owner", got0, got1)
+	}
+	if got := f.Status().Profiles; got != 6 {
+		t.Fatalf("Status().Profiles = %d, want 6", got)
+	}
+	// /run accounting is untouched by profile traffic.
+	if got := f.Status().Served; got != 0 {
+		t.Fatalf("Status().Served = %d, want 0", got)
+	}
+}
+
+// A dead owner is a client-visible 503, never a silent retry against a
+// worker whose database does not own the program.
+func TestRouterProfilesNeverRetriesNonOwner(t *testing.T) {
+	var other atomic.Int64
+	b1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		other.Add(1)
+	}))
+	defer b1.Close()
+
+	f := staticFleet(t, Config{Workers: 2})
+	attach(f, 0, "http://"+deadAddr(t))
+	attach(f, 1, b1.URL)
+	prog := programOwnedBy(f, "w0")
+
+	code, body := profileReq(t, f, http.MethodPost, prog, `{"version":1,"arcs":[]}`)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), KindUpstream) {
+		t.Fatalf("dead owner = %d: %s", code, body)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("non-owner received %d requests, want 0", other.Load())
+	}
+}
+
+// A worker answering 503 profdb_recovering is relayed verbatim — the
+// client backs off and retries the same eventual owner.
+func TestRouterProfilesRelaysRecoveringVerbatim(t *testing.T) {
+	const recov = `{"error":"profile database is recovering","kind":"profdb_recovering","retry_after_ms":1000}` + "\n"
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, recov)
+	}))
+	defer b.Close()
+
+	f := staticFleet(t, Config{Workers: 1})
+	attach(f, 0, b.URL)
+
+	code, body := profileReq(t, f, http.MethodPost, "Richards", `{"version":1,"arcs":[]}`)
+	if code != http.StatusServiceUnavailable || string(body) != recov {
+		t.Fatalf("recovering relay = %d: %q", code, body)
+	}
+}
+
+func TestRouterProfilesDraining(t *testing.T) {
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"version":1,"arcs":[]}`)
+	}))
+	defer b.Close()
+	f := staticFleet(t, Config{Workers: 1})
+	attach(f, 0, b.URL)
+	close(f.draining)
+
+	// New uploads are refused during drain; exports still work so a
+	// consumer can pull the aggregate on the way down.
+	code, body := profileReq(t, f, http.MethodPost, "Richards", `{}`)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), server.KindDraining) {
+		t.Fatalf("draining upload = %d: %s", code, body)
+	}
+	if code, _ := profileReq(t, f, http.MethodGet, "Richards", ""); code != http.StatusOK {
+		t.Fatalf("draining export = %d, want 200", code)
+	}
+}
+
+func TestRouterProfilesNoWorkers(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 1})
+	code, body := profileReq(t, f, http.MethodPost, "Richards", `{}`)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), KindNoWorkers) {
+		t.Fatalf("no workers = %d: %s", code, body)
+	}
+}
+
+// The probe loop copies the worker's profdb state from its /readyz
+// body into the topology, so operators can watch a replaying worker
+// progress to ready via the router's own /readyz.
+func TestWorkerStatusReflectsProfDBState(t *testing.T) {
+	f := staticFleet(t, Config{Workers: 1})
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"status":"ready","profdb":"recovering"}`)
+	}))
+	defer b.Close()
+	attach(f, 0, b.URL)
+
+	addr := strings.TrimPrefix(b.URL, "http://")
+	res, h := f.probeOnce(addr)
+	if res != probeHealthy {
+		t.Fatalf("probe = %v", res)
+	}
+	w := f.workers[0]
+	w.mu.Lock()
+	w.profdb = h.ProfDB
+	w.mu.Unlock()
+
+	st := f.Status()
+	if st.Workers[0].ProfDB != "recovering" {
+		t.Fatalf("worker profdb = %q, want recovering", st.Workers[0].ProfDB)
+	}
+}

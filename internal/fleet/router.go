@@ -215,6 +215,94 @@ func (f *Fleet) proxyOnce(w http.ResponseWriter, r *http.Request, wk *worker, bo
 	return true, nil
 }
 
+// handleProfiles forwards a profile upload or export to the one worker
+// that owns the program on the hash ring. Unlike /run, an attempt is
+// never retried against a different worker: each worker aggregates
+// into its own local database, so replaying an ingest to a non-owner
+// would fork the aggregate across stores. A failed attempt surfaces to
+// the client (503), which retries against the same eventual owner.
+func (f *Fleet) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && f.isDraining() {
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: server.KindDraining, Error: "fleet is draining", RetryAfterMS: 1000,
+		})
+		return
+	}
+	f.inflight.Add(1)
+	defer f.inflight.Done()
+
+	program := r.PathValue("program")
+	body, err := io.ReadAll(io.LimitReader(r.Body, f.cfg.MaxSourceBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{Kind: server.KindBadRequest, Error: "reading request body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > f.cfg.MaxSourceBytes {
+		writeErr(w, http.StatusBadRequest, server.ErrorBody{
+			Kind: server.KindBadRequest, Error: fmt.Sprintf("request body exceeds %d bytes", f.cfg.MaxSourceBytes),
+		})
+		return
+	}
+
+	// The same key derivation /run routes by, so a program's uploads,
+	// exports and runs all land on the same worker — the worker whose
+	// caches the profile is meant to inform.
+	id := f.ring.pick(server.ProgramKey("", program), nil)
+	if id == "" {
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: KindNoWorkers, Error: "no healthy workers", RetryAfterMS: f.cfg.RestartBackoff.Milliseconds(),
+		})
+		return
+	}
+	wk := f.byRing[id]
+	wk.mu.Lock()
+	addr := wk.addr
+	wk.mu.Unlock()
+	if addr == "" {
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: KindUpstream, Error: fmt.Sprintf("owner worker %d has no address", wk.id), RetryAfterMS: f.cfg.RetryBackoff.Milliseconds(),
+		})
+		return
+	}
+	f.profiles.Add(1)
+	f.mProfiles.Inc()
+	f.wReq[wk.id].Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.DefaultTimeout)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, r.Method, "http://"+addr+"/profiles/"+program, bytes.NewReader(body))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, server.ErrorBody{Kind: KindUpstream, Error: err.Error()})
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(preq)
+	if err != nil {
+		f.wErr[wk.id].Inc()
+		if r.Context().Err() != nil {
+			writeErr(w, 499, server.ErrorBody{Kind: server.KindCanceled, Error: "client disconnected"})
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: KindUpstream, Error: fmt.Sprintf("owner worker %d: %v", wk.id, err), RetryAfterMS: f.cfg.RetryBackoff.Milliseconds(),
+		})
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, f.cfg.MaxSourceBytes+(1<<20)))
+	if err != nil {
+		f.wErr[wk.id].Inc()
+		writeErr(w, http.StatusServiceUnavailable, server.ErrorBody{
+			Kind: KindUpstream, Error: fmt.Sprintf("owner worker %d: %v", wk.id, err), RetryAfterMS: f.cfg.RetryBackoff.Milliseconds(),
+		})
+		return
+	}
+	// Relay verbatim — including the worker's 503 profdb_recovering
+	// with its Retry-After: the client backs off and retries here, and
+	// the forward lands on the same owner once its WAL replay finishes.
+	relay(w, resp, respBody)
+}
+
 // classifyTransport decides what a failed attempt's error means: the
 // client hung up (terminal 499), our own deadline fired (terminal
 // 504), or the worker is unreachable (retryable).

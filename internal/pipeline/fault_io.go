@@ -1,0 +1,147 @@
+// I/O fault injection: the storage-layer sibling of the Guard-boundary
+// seam in fault.go.
+//
+// The profile database (internal/profdb) makes durability promises —
+// "fsync'd before ack", "atomic rename or nothing" — that only matter
+// in exactly the moments a real disk misbehaves or the process dies
+// mid-syscall. Those moments are untestable with real SIGKILL alone:
+// a signal cannot be delivered at a chosen byte offset. This seam can.
+// Every durable file operation in profdb (write, fsync, rename) asks
+// the armed IOInjector first; a matching rule fails the operation with
+// a deterministic error, optionally after writing a chosen number of
+// bytes (a torn write, the exact state a power cut leaves behind).
+//
+// Like the Guard seam, the disarmed state is one atomic pointer load —
+// nil in production — and arming is test-scoped via the returned
+// disarm function.
+
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// IOOp names one durable file operation class at an injection point.
+type IOOp string
+
+const (
+	// IOWrite is a data write to an open file.
+	IOWrite IOOp = "write"
+	// IOFsync is an fsync/File.Sync of file contents (or a directory).
+	IOFsync IOOp = "fsync"
+	// IORename is the atomic rename publishing a tmp file.
+	IORename IOOp = "rename"
+)
+
+// IORule arms one kind of I/O fault. Empty match fields are wildcards;
+// Path matches by substring so tests can target "wal" or "snapshot"
+// without knowing the temp directory.
+type IORule struct {
+	Op   IOOp   // "" = any operation
+	Path string // substring of the target path; "" = any
+	// ShortBytes, for IOWrite rules, is how many bytes of the buffer
+	// are actually written before the failure — a torn write. 0 means
+	// the write fails before any byte lands.
+	ShortBytes int
+	// Message is the fault text (default "injected io fault").
+	Message string
+	// Probability in (0,1) fires on that fraction of matches using the
+	// injector's seeded source; 0 or ≥1 always fires.
+	Probability float64
+	// Limit, when positive, disarms the rule after this many firings.
+	Limit int
+}
+
+// IOFault is the error an armed IORule produces. The storage layer
+// both returns it to its caller and honors ShortBytes, so a test sees
+// the same torn on-disk state a crash mid-write would leave.
+type IOFault struct {
+	Op         IOOp
+	Path       string
+	ShortBytes int
+	Msg        string
+}
+
+func (f *IOFault) Error() string {
+	return fmt.Sprintf("injected io fault: %s %s: %s", f.Op, f.Path, f.Msg)
+}
+
+// IOInjector evaluates I/O fault rules. Safe for concurrent use.
+type IOInjector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []IORule
+	fired map[int]int
+	total int
+}
+
+// NewIOInjector builds an injector with a deterministic seed for its
+// probabilistic rules.
+func NewIOInjector(seed int64, rules ...IORule) *IOInjector {
+	return &IOInjector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: rules,
+		fired: make(map[int]int),
+	}
+}
+
+// TotalFired reports how many faults the injector has produced.
+func (inj *IOInjector) TotalFired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.total
+}
+
+// fire consults the rules for one operation; first match wins.
+func (inj *IOInjector) fire(op IOOp, path string) *IOFault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.Limit > 0 && inj.fired[i] >= r.Limit {
+			continue
+		}
+		if r.Probability > 0 && r.Probability < 1 && inj.rng.Float64() >= r.Probability {
+			continue
+		}
+		inj.fired[i]++
+		inj.total++
+		msg := r.Message
+		if msg == "" {
+			msg = "injected io fault"
+		}
+		return &IOFault{Op: op, Path: path, ShortBytes: r.ShortBytes, Msg: msg}
+	}
+	return nil
+}
+
+// armedIO is the process-wide I/O injector; nil in production.
+var armedIO atomic.Pointer[IOInjector]
+
+// ArmIOFaults installs inj at every InjectIO call site and returns the
+// disarm function, which restores whatever was armed before. Tests
+// must disarm (defer disarm()) so faults never leak across tests.
+func ArmIOFaults(inj *IOInjector) (disarm func()) {
+	prev := armedIO.Swap(inj)
+	return func() { armedIO.Store(prev) }
+}
+
+// InjectIO is the storage-side hook: nil (proceed normally) when
+// disarmed or when no rule matches.
+func InjectIO(op IOOp, path string) *IOFault {
+	inj := armedIO.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.fire(op, path)
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectIODisarmedIsNil(t *testing.T) {
+	if fl := InjectIO(IOWrite, "/tmp/x"); fl != nil {
+		t.Fatalf("disarmed InjectIO fired: %v", fl)
+	}
+}
+
+func TestIOInjectorMatching(t *testing.T) {
+	inj := NewIOInjector(1,
+		IORule{Op: IOFsync, Path: "wal", Message: "boom"},
+		IORule{Op: IOWrite, ShortBytes: 5},
+	)
+	disarm := ArmIOFaults(inj)
+	defer disarm()
+
+	if fl := InjectIO(IOFsync, "/d/wal.log"); fl == nil || fl.Msg != "boom" {
+		t.Fatalf("fsync rule missed: %v", fl)
+	}
+	if fl := InjectIO(IOFsync, "/d/snapshot.json"); fl != nil {
+		t.Fatalf("path filter ignored: %v", fl)
+	}
+	if fl := InjectIO(IOWrite, "/anything"); fl == nil || fl.ShortBytes != 5 {
+		t.Fatalf("wildcard write rule: %v", fl)
+	}
+	if fl := InjectIO(IORename, "/anything"); fl != nil {
+		t.Fatalf("unmatched op fired: %v", fl)
+	}
+	if inj.TotalFired() != 2 {
+		t.Fatalf("TotalFired = %d, want 2", inj.TotalFired())
+	}
+}
+
+func TestIORuleLimit(t *testing.T) {
+	disarm := ArmIOFaults(NewIOInjector(1, IORule{Op: IOWrite, Limit: 2}))
+	defer disarm()
+	for i := 0; i < 2; i++ {
+		if InjectIO(IOWrite, "x") == nil {
+			t.Fatalf("firing %d suppressed before limit", i)
+		}
+	}
+	if InjectIO(IOWrite, "x") != nil {
+		t.Fatal("rule fired past its limit")
+	}
+}
+
+func TestIORuleProbabilityDeterministic(t *testing.T) {
+	count := func() int {
+		disarm := ArmIOFaults(NewIOInjector(42, IORule{Op: IOWrite, Probability: 0.5}))
+		defer disarm()
+		n := 0
+		for i := 0; i < 100; i++ {
+			if InjectIO(IOWrite, "x") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("probability 0.5 fired %d/100", a)
+	}
+}
+
+func TestArmIOFaultsRestoresPrevious(t *testing.T) {
+	outer := NewIOInjector(1, IORule{Op: IORename})
+	disarmOuter := ArmIOFaults(outer)
+	defer disarmOuter()
+	disarmInner := ArmIOFaults(NewIOInjector(1, IORule{Op: IOFsync}))
+	if InjectIO(IORename, "x") != nil {
+		t.Fatal("inner arm did not replace outer")
+	}
+	disarmInner()
+	if InjectIO(IORename, "x") == nil {
+		t.Fatal("outer injector not restored")
+	}
+}
+
+func TestIOFaultIsError(t *testing.T) {
+	var err error = &IOFault{Op: IOWrite, Path: "/d/wal.log", Msg: "m"}
+	var fl *IOFault
+	if !errors.As(err, &fl) || fl.Op != IOWrite {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}

@@ -1,0 +1,97 @@
+// Durable file primitives. Every byte the profile database promises to
+// keep goes through these four functions, and each one consults the
+// pipeline I/O fault seam (pipeline.InjectIO) before touching the real
+// syscall — so tests can make any write tear, any fsync fail, and any
+// rename vanish, deterministically, at the exact point a power cut or
+// SIGKILL would.
+package profdb
+
+import (
+	"os"
+	"path/filepath"
+
+	"selspec/internal/pipeline"
+)
+
+// WriteFileAtomic writes data to path with the write-tmp-fsync-rename
+// protocol: the bytes land in path+".tmp", are fsync'd, and only then
+// atomically renamed over path, followed by an fsync of the directory
+// so the rename itself is durable. A crash at any point leaves either
+// the old file or the new file, complete — never a torn mixture.
+//
+// This is the repo's one crash-safe file writer: the profile database
+// snapshots, `selspec -profile` output and `paperbench -json`
+// trajectories all go through it.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if err := writeFull(f, data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeFull writes all of b to f, honoring an injected fault: a
+// ShortBytes fault writes that prefix before failing — the torn state
+// a crash mid-write leaves on disk.
+func writeFull(f *os.File, b []byte) error {
+	if fl := pipeline.InjectIO(pipeline.IOWrite, f.Name()); fl != nil {
+		if n := fl.ShortBytes; n > 0 {
+			if n > len(b) {
+				n = len(b)
+			}
+			_, _ = f.Write(b[:n])
+		}
+		return fl
+	}
+	_, err := f.Write(b)
+	return err
+}
+
+// syncFile fsyncs f's contents.
+func syncFile(f *os.File) error {
+	if fl := pipeline.InjectIO(pipeline.IOFsync, f.Name()); fl != nil {
+		return fl
+	}
+	return f.Sync()
+}
+
+// rename atomically publishes oldpath as newpath.
+func rename(oldpath, newpath string) error {
+	if fl := pipeline.InjectIO(pipeline.IORename, newpath); fl != nil {
+		return fl
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// syncDir fsyncs a directory, making renames and file creations within
+// it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if fl := pipeline.InjectIO(pipeline.IOFsync, dir); fl != nil {
+		return fl
+	}
+	return d.Sync()
+}

@@ -1,0 +1,379 @@
+package profdb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"selspec/internal/obs"
+	"selspec/internal/profile"
+)
+
+func TestIngestExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if seq := mustIngest(t, db, "p", wp([3]int64{0, 0, 10})); seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	if seq := mustIngest(t, db, "p", wp([3]int64{0, 0, 5}, [3]int64{1, 2, 7})); seq != 2 {
+		t.Fatalf("second seq = %d, want 2", seq)
+	}
+	w := mustExport(t, db, "p")
+	if len(w.Arcs) != 2 || w.Arcs[0].Weight != 15 || w.Arcs[1].Weight != 7 {
+		t.Fatalf("export = %+v", w.Arcs)
+	}
+	if _, err := db.Export("nope"); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("unknown program: %v", err)
+	}
+}
+
+func TestReopenRecoversAggregates(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "a", wp([3]int64{0, 0, 10}))
+	mustIngest(t, db, "b", wp([3]int64{1, 1, 20}))
+	mustIngest(t, db, "a", wp([3]int64{0, 0, 1}))
+	want := mustExport(t, db, "a")
+	db.Close()
+
+	db2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := mustExport(t, db2, "a"); !wireEqual(t, got, want) {
+		t.Fatalf("recovered export differs: %+v vs %+v", got, want)
+	}
+	if db2.Stats().Seq != 3 {
+		t.Fatalf("recovered seq = %d, want 3", db2.Stats().Seq)
+	}
+	// Ingest after reopen continues the sequence.
+	if seq := mustIngest(t, db2, "a", wp([3]int64{0, 0, 1})); seq != 4 {
+		t.Fatalf("post-recovery seq = %d, want 4", seq)
+	}
+}
+
+func TestCompactionSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	db, err := Open(dir, Config{CompactEvery: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		mustIngest(t, db, "p", wp([3]int64{0, 0, 1}))
+	}
+	want := mustExport(t, db, "p")
+	db.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	// 7 ingests with CompactEvery=3: compactions at 3 and 6, leaving
+	// one record in the WAL.
+	st, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scanWAL(readFileT(t, filepath.Join(dir, walName)))
+	if len(res.records) != 1 || res.truncated {
+		t.Fatalf("wal after compaction: %d records (size %d), truncated=%v",
+			len(res.records), st.Size(), res.truncated)
+	}
+
+	db2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := mustExport(t, db2, "p"); !wireEqual(t, got, want) {
+		t.Fatalf("post-compaction recovery differs")
+	}
+}
+
+// A crash between snapshot publication and WAL truncation leaves
+// already-compacted records in the log; replay must skip them instead
+// of double-counting.
+func TestRecoverySkipsRecordsBelowSnapshotSeq(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Config{CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 10}))
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 10})) // compacts, truncates WAL
+	want := mustExport(t, db, "p")
+	db.Close()
+
+	// Re-append the two compacted records as if the truncate never
+	// happened.
+	img := frames(t,
+		&walRecord{Seq: 1, Program: "p", Epoch: 0, Profile: wp([3]int64{0, 0, 10})},
+		&walRecord{Seq: 2, Program: "p", Epoch: 0, Profile: wp([3]int64{0, 0, 10})},
+	)
+	if err := os.WriteFile(filepath.Join(dir, walName), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := mustExport(t, db2, "p"); !wireEqual(t, got, want) {
+		t.Fatalf("duplicate tail double-counted: %+v, want %+v", got.Arcs, want.Arcs)
+	}
+}
+
+// A leftover snapshot tmp from an interrupted compaction is garbage
+// and must be swept, never adopted.
+func TestRecoveryRemovesStaleSnapshotTmp(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 10}))
+	db.Close()
+	tmp := filepath.Join(dir, snapName+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp survived recovery: %v", err)
+	}
+	if w := mustExport(t, db2, "p"); w.Arcs[0].Weight != 10 {
+		t.Fatalf("aggregate lost: %+v", w.Arcs)
+	}
+}
+
+func TestLRUEvictionByLastSeq(t *testing.T) {
+	db, err := Open(t.TempDir(), Config{MaxPrograms: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustIngest(t, db, "old", wp([3]int64{0, 0, 1}))
+	mustIngest(t, db, "mid", wp([3]int64{0, 0, 1}))
+	mustIngest(t, db, "old", wp([3]int64{0, 0, 1})) // refresh "old"
+	mustIngest(t, db, "new", wp([3]int64{0, 0, 1})) // evicts "mid", the LRU
+	got := db.Programs()
+	if len(got) != 2 || got[0] != "new" || got[1] != "old" {
+		t.Fatalf("programs after eviction = %v, want [new old]", got)
+	}
+}
+
+func TestMaxArcsCapKeepsHeaviest(t *testing.T) {
+	db, err := Open(t.TempDir(), Config{MaxArcs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustIngest(t, db, "p", wp(
+		[3]int64{0, 0, 5}, [3]int64{1, 0, 50}, [3]int64{2, 0, 500},
+	))
+	w := mustExport(t, db, "p")
+	if len(w.Arcs) != 2 || w.Arcs[0].Site != 1 || w.Arcs[1].Site != 2 {
+		t.Fatalf("cap kept wrong arcs: %+v", w.Arcs)
+	}
+}
+
+func TestIngestRejectsOverflow(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, err := Open(t.TempDir(), Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustIngest(t, db, "p", wp([3]int64{0, 0, math.MaxInt64 - 1}))
+	want := mustExport(t, db, "p")
+
+	_, err = db.Ingest("p", wp([3]int64{0, 0, 2}))
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("overflow ingest: %v, want RejectError", err)
+	}
+	// The reject left both memory and the log untouched.
+	if got := mustExport(t, db, "p"); !wireEqual(t, got, want) {
+		t.Fatalf("reject mutated aggregate")
+	}
+	if seq := mustIngest(t, db, "q", wp([3]int64{0, 0, 1})); seq != 2 {
+		t.Fatalf("seq after reject = %d, want 2 (no seq burned)", seq)
+	}
+	// Overflow within a single upload's duplicate arcs is caught too.
+	if _, err := db.Ingest("p", wp([3]int64{5, 5, math.MaxInt64 - 1},
+		[3]int64{5, 5, math.MaxInt64 - 1})); err == nil {
+		t.Fatal("intra-upload duplicate-arc overflow accepted")
+	}
+}
+
+func TestIngestRejectsInvalidProfile(t *testing.T) {
+	db, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cases := []*profile.Wire{
+		{Version: 99},
+		{Version: profile.FormatVersion, Arcs: []profile.WireArc{{Site: -1, Callee: 0, Weight: 1}}},
+		{Version: profile.FormatVersion, Arcs: []profile.WireArc{{Site: 0, Callee: 0, Weight: -1}}},
+	}
+	for i, w := range cases {
+		var rej *RejectError
+		if _, err := db.Ingest("p", w); !errors.As(err, &rej) {
+			t.Errorf("case %d: %v, want RejectError", i, err)
+		}
+	}
+	if _, err := db.Ingest("", wp()); err == nil {
+		t.Error("empty program name accepted")
+	}
+}
+
+func TestOpenAsyncRecoveringState(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, seed, "p", wp([3]int64{0, 0, 10}))
+	seed.Close()
+
+	gate := make(chan struct{})
+	db, err := OpenAsync(dir, Config{RecoveryHook: func() { <-gate }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if st := db.State(); st != StateRecovering {
+		t.Fatalf("state during recovery = %q", st)
+	}
+	if _, err := db.Ingest("p", wp([3]int64{0, 0, 1})); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("ingest during recovery: %v", err)
+	}
+	if _, err := db.Export("p"); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("export during recovery: %v", err)
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := db.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.State(); st != StateReady {
+		t.Fatalf("state after recovery = %q", st)
+	}
+	if w := mustExport(t, db, "p"); w.Arcs[0].Weight != 10 {
+		t.Fatalf("recovered weight = %d", w.Arcs[0].Weight)
+	}
+}
+
+func TestTupleSampleMergeWithOverflow(t *testing.T) {
+	db, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w1 := wp([3]int64{0, 0, 1})
+	w1.Entries = []profile.WireEntry{{Method: 3, Tuples: [][]int{{1, 2}, {3, 4}}}}
+	w2 := wp([3]int64{0, 0, 1})
+	w2.Entries = []profile.WireEntry{
+		{Method: 3, Tuples: [][]int{{1, 2}, {5, 6}}},
+		{Method: 7, Overflow: true},
+	}
+	mustIngest(t, db, "p", w1)
+	mustIngest(t, db, "p", w2)
+	got := mustExport(t, db, "p")
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %+v", got.Entries)
+	}
+	if got.Entries[0].Method != 3 || len(got.Entries[0].Tuples) != 3 {
+		t.Fatalf("method 3 union = %+v", got.Entries[0])
+	}
+	if got.Entries[1].Method != 7 || !got.Entries[1].Overflow {
+		t.Fatalf("method 7 overflow lost: %+v", got.Entries[1])
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	db, err := Open(dir, Config{Metrics: reg, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 1}))
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 1}))
+	db.Ingest("p", &profile.Wire{Version: 99})
+	db.RecordReject()
+	db.Close()
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"selspec_profdb_ingests_total 2",
+		"selspec_profdb_rejects_total 2",
+		"selspec_profdb_compactions_total 1",
+		"selspec_profdb_recoveries_total 1",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFileT(t, path); string(got) != "v2" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp left behind: %v", err)
+	}
+}
+
+func wireEqual(t *testing.T, a, b *profile.Wire) bool {
+	t.Helper()
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ab, bb)
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

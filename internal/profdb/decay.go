@@ -1,0 +1,71 @@
+// Exponential decay: how the aggregate forgets. Without decay, a
+// workload that dominated traffic a month ago keeps driving
+// specialization decisions forever; with it, every arc weight halves
+// once per half-life, so the aggregate tracks what the fleet is
+// running *now* (§3.7.2's persistent database, production-scaled).
+//
+// Time is quantized into epochs (a configurable fraction of the
+// half-life). Weights are only ever touched at epoch boundaries: an
+// aggregate carries the epoch it was last advanced to, and advancing
+// it k epochs multiplies every weight by factor^k (factor =
+// 2^(-epoch/halfLife)), rounding down, dropping arcs that reach zero.
+// Crucially the epoch of every upload is fixed at ingest time and
+// persisted in its WAL record, so replaying a log applies exactly the
+// decay the original ingests applied — recovery is deterministic even
+// though decay is time-driven.
+package profdb
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ParseHalfLife parses a CLI half-life flag: "" means decay disabled,
+// anything else must be a positive duration. Zero and negative values
+// are configuration errors, not "disable": a zero half-life would
+// decay every weight to nothing instantly, which is never what an
+// operator meant.
+func ParseHalfLife(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("profdb: invalid half-life %q: %v", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("profdb: half-life must be positive, got %v", d)
+	}
+	return d, nil
+}
+
+// decayFactor is the per-epoch multiplier: 2^(-epoch/halfLife).
+// With Epoch == HalfLife this is exactly 0.5.
+func decayFactor(epoch, halfLife time.Duration) float64 {
+	return math.Exp2(-float64(epoch) / float64(halfLife))
+}
+
+// decayWeight applies k epochs of decay to one weight, rounding down.
+// The result is monotonically non-increasing in k: factor ≤ 1, so
+// w·factor^k ≤ w, and floor preserves the ordering.
+func decayWeight(w int64, factor float64, k int64) int64 {
+	if k <= 0 || w <= 0 {
+		return w
+	}
+	decayed := float64(w) * math.Pow(factor, float64(k))
+	if decayed < 1 {
+		return 0
+	}
+	return int64(math.Floor(decayed))
+}
+
+// epochOf maps a wall-clock instant to its epoch number. With decay
+// disabled every instant is epoch 0, which makes the whole decay layer
+// a no-op without a separate code path.
+func (c *Config) epochOf(t time.Time) int64 {
+	if c.HalfLife <= 0 || c.Epoch <= 0 {
+		return 0
+	}
+	return t.UnixNano() / int64(c.Epoch)
+}

@@ -1,0 +1,200 @@
+package profdb
+
+import (
+	"testing"
+	"time"
+
+	"selspec/internal/profile"
+)
+
+func TestParseHalfLife(t *testing.T) {
+	if d, err := ParseHalfLife(""); err != nil || d != 0 {
+		t.Fatalf("empty: d=%v err=%v, want disabled", d, err)
+	}
+	if d, err := ParseHalfLife("30m"); err != nil || d != 30*time.Minute {
+		t.Fatalf("30m: d=%v err=%v", d, err)
+	}
+	// Zero and negative are configuration errors, not "disable".
+	for _, s := range []string{"0s", "0", "-5m", "-1h30m", "bananas"} {
+		if _, err := ParseHalfLife(s); err == nil {
+			t.Fatalf("ParseHalfLife(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestConfigValidateRejectsNegative(t *testing.T) {
+	if _, err := (Config{HalfLife: -time.Hour}).Validate(); err == nil {
+		t.Fatal("negative half-life accepted")
+	}
+	if _, err := (Config{HalfLife: time.Hour, Epoch: -time.Minute}).Validate(); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+	cfg, err := (Config{HalfLife: time.Hour}).Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epoch != 15*time.Minute {
+		t.Fatalf("default epoch = %v, want half-life/4", cfg.Epoch)
+	}
+}
+
+// Epoch-boundary rounding: with Epoch == HalfLife the per-epoch factor
+// is exactly 0.5 and decay is floor division by two.
+func TestDecayWeightRounding(t *testing.T) {
+	f := decayFactor(time.Hour, time.Hour)
+	if f != 0.5 {
+		t.Fatalf("factor = %v, want exactly 0.5", f)
+	}
+	cases := []struct {
+		w    int64
+		k    int64
+		want int64
+	}{
+		{1000, 1, 500},
+		{999, 1, 499}, // floor, not round-to-nearest
+		{1000, 2, 250},
+		{999, 2, 249},
+		{1, 1, 0}, // below 1 decays to zero, not to a lingering 1
+		{0, 5, 0},
+		{7, 0, 7}, // zero elapsed epochs is the identity
+		{1 << 40, 1, 1 << 39},
+	}
+	for _, tc := range cases {
+		if got := decayWeight(tc.w, f, tc.k); got != tc.want {
+			t.Errorf("decayWeight(%d, 0.5, %d) = %d, want %d", tc.w, tc.k, got, tc.want)
+		}
+	}
+}
+
+// Weights must be monotonically non-increasing across idle epochs, for
+// any weight and any factor — decay never resurrects mass.
+func TestDecayMonotone(t *testing.T) {
+	for _, hl := range []time.Duration{time.Hour, 7 * time.Hour} {
+		for _, ep := range []time.Duration{time.Hour, 13 * time.Minute} {
+			f := decayFactor(ep, hl)
+			for _, w0 := range []int64{1, 2, 3, 999, 12345, 1 << 50} {
+				prev := w0
+				for k := int64(1); k <= 64; k++ {
+					cur := decayWeight(w0, f, k)
+					if cur > prev {
+						t.Fatalf("decay increased: w0=%d hl=%v ep=%v k=%d: %d > %d",
+							w0, hl, ep, k, cur, prev)
+					}
+					prev = cur
+				}
+			}
+		}
+	}
+}
+
+// Golden fixture for decay x merge commutativity: with even weights
+// and factor exactly 0.5, decaying the merged aggregate equals merging
+// the decayed parts — ingest order relative to an epoch boundary does
+// not change what the database converges to.
+func TestDecayMergeCommutesGolden(t *testing.T) {
+	f := decayFactor(time.Hour, time.Hour) // exactly 0.5
+	a := []int64{100, 2048, 4, 77778}
+	b := []int64{200, 2, 65536, 2222}
+	for i := range a {
+		merged := decayWeight(a[i]+b[i], f, 1)
+		parts := decayWeight(a[i], f, 1) + decayWeight(b[i], f, 1)
+		if merged != parts {
+			t.Errorf("decay(a+b)=%d != decay(a)+decay(b)=%d for a=%d b=%d",
+				merged, parts, a[i], b[i])
+		}
+	}
+}
+
+// The same commutativity at the database level: two databases, one
+// ingesting both uploads before the epoch turns and one split across
+// the boundary, export identical profiles (even-weight golden case).
+func TestDBDecayAcrossEpochBoundary(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	mkdb := func(t *testing.T, now *time.Time) *DB {
+		t.Helper()
+		db, err := Open(t.TempDir(), Config{
+			HalfLife: time.Hour, Epoch: time.Hour,
+			Now: func() time.Time { return *now },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}
+
+	// DB1: both uploads at epoch e, observed at e+1.
+	now1 := base
+	db1 := mkdb(t, &now1)
+	mustIngest(t, db1, "p", wp([3]int64{0, 0, 100}))
+	mustIngest(t, db1, "p", wp([3]int64{0, 0, 200}))
+	now1 = base.Add(time.Hour)
+	w1 := mustExport(t, db1, "p")
+
+	// DB2: first upload at epoch e, second at e+1 pre-decayed by hand
+	// (the client saw the boundary pass and halved its weight), so both
+	// databases describe the same ground truth.
+	now2 := base
+	db2 := mkdb(t, &now2)
+	mustIngest(t, db2, "p", wp([3]int64{0, 0, 100}))
+	now2 = base.Add(time.Hour)
+	mustIngest(t, db2, "p", wp([3]int64{0, 0, 100}))
+	w2 := mustExport(t, db2, "p")
+
+	// DB1: (100+200)/2 = 150. DB2: 100/2 + 100 = 150.
+	if len(w1.Arcs) != 1 || w1.Arcs[0].Weight != 150 {
+		t.Fatalf("db1 export = %+v, want single arc weight 150", w1.Arcs)
+	}
+	if len(w2.Arcs) != 1 || w2.Arcs[0].Weight != 150 {
+		t.Fatalf("db2 export = %+v, want single arc weight 150", w2.Arcs)
+	}
+}
+
+// An idle program's weights only ever shrink, and arcs that reach zero
+// vanish rather than lingering.
+func TestDBIdleDecayShrinksToEmpty(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	db, err := Open(t.TempDir(), Config{
+		HalfLife: time.Hour, Epoch: time.Hour,
+		Now: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustIngest(t, db, "p", wp([3]int64{0, 0, 100}, [3]int64{1, 1, 3}))
+	prev := int64(1 << 62)
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Hour)
+		w := mustExport(t, db, "p")
+		var total int64
+		for _, a := range w.Arcs {
+			total += a.Weight
+		}
+		if total > prev {
+			t.Fatalf("idle decay increased total: %d > %d", total, prev)
+		}
+		prev = total
+	}
+	if w := mustExport(t, db, "p"); len(w.Arcs) != 0 {
+		t.Fatalf("after 10 idle half-lives arcs remain: %+v", w.Arcs)
+	}
+}
+
+func mustIngest(t *testing.T, db *DB, prog string, w *profile.Wire) uint64 {
+	t.Helper()
+	seq, err := db.Ingest(prog, w)
+	if err != nil {
+		t.Fatalf("Ingest(%s): %v", prog, err)
+	}
+	return seq
+}
+
+func mustExport(t *testing.T, db *DB, prog string) *profile.Wire {
+	t.Helper()
+	w, err := db.Export(prog)
+	if err != nil {
+		t.Fatalf("Export(%s): %v", prog, err)
+	}
+	return w
+}

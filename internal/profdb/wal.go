@@ -1,0 +1,162 @@
+// The write-ahead log: an append-only file of length-prefixed,
+// CRC32C-checksummed, versioned records, one per acked profile upload.
+//
+// Frame layout (little-endian):
+//
+//	u32 bodyLen | u32 crc32c(body) | body
+//	body = u8 recordVersion | payload JSON
+//
+// The invariant the whole database rests on: a record is either fully
+// durable (its frame complete, its checksum valid) or it is the last
+// thing in the file and gets truncated away at recovery. Appends are
+// fsync'd before the upload is acknowledged, so the durable prefix
+// always covers the acked prefix; anything after it — a torn frame
+// from a crash mid-write, garbage from a bad sector — fails the length
+// or checksum test and marks the cut point. Recovery never fails
+// startup on a corrupt tail: it keeps what checks out and truncates
+// the rest.
+package profdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"selspec/internal/profile"
+)
+
+const (
+	recVersion   = 1
+	recHeaderLen = 8
+	// maxRecordLen bounds one record body. A length prefix larger than
+	// this is treated as corruption, not an instruction to allocate.
+	maxRecordLen = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one upload's payload: which program, at which decay
+// epoch, carrying which profile. Seq is the database-wide upload
+// sequence number; records at or below the snapshot's seq are skipped
+// during replay (they were already compacted in), which is what makes
+// a crash between snapshot publication and WAL truncation harmless.
+type walRecord struct {
+	Seq     uint64        `json:"seq"`
+	Program string        `json:"program"`
+	Epoch   int64         `json:"epoch"`
+	Profile *profile.Wire `json:"profile"`
+}
+
+// encodeRecord frames one record for appending.
+func encodeRecord(rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 1+len(payload))
+	body[0] = recVersion
+	copy(body[1:], payload)
+	frame := make([]byte, recHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	copy(frame[recHeaderLen:], body)
+	return frame, nil
+}
+
+// replayResult is what scanning a WAL image yields: the records that
+// checked out, the byte offset of the first byte that did not (== the
+// length of the valid prefix), and whether anything had to be dropped.
+type replayResult struct {
+	records   []*walRecord
+	goodOff   int64
+	truncated bool
+	reason    string // why the scan stopped early, for the recovery log
+}
+
+// scanWAL walks a WAL image record by record, stopping at the first
+// frame that is torn (short header or body), oversized, checksummed
+// wrong, of an unknown version, or carrying an unparseable or
+// non-monotonic payload. Every failure mode is a clean stop — never an
+// error, never a panic — because a corrupt tail is an expected state
+// for this file, not an exceptional one.
+func scanWAL(data []byte) replayResult {
+	res := replayResult{}
+	off := int64(0)
+	lastSeq := uint64(0)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			res.goodOff = off
+			return res
+		}
+		if len(rest) < recHeaderLen {
+			return truncateAt(res, off, "torn record header")
+		}
+		bodyLen := binary.LittleEndian.Uint32(rest[0:4])
+		if bodyLen == 0 || bodyLen > maxRecordLen {
+			return truncateAt(res, off, fmt.Sprintf("implausible record length %d", bodyLen))
+		}
+		if int64(len(rest)) < recHeaderLen+int64(bodyLen) {
+			return truncateAt(res, off, "torn record body")
+		}
+		body := rest[recHeaderLen : recHeaderLen+int64(bodyLen)]
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return truncateAt(res, off, "checksum mismatch")
+		}
+		if body[0] != recVersion {
+			return truncateAt(res, off, fmt.Sprintf("unknown record version %d", body[0]))
+		}
+		var rec walRecord
+		if err := json.Unmarshal(body[1:], &rec); err != nil {
+			return truncateAt(res, off, "unparseable record payload")
+		}
+		if rec.Profile == nil || rec.Seq <= lastSeq {
+			// A record with no profile or a non-increasing sequence
+			// number cannot have been written by an intact append path;
+			// treat it like any other corruption.
+			return truncateAt(res, off, "inconsistent record")
+		}
+		if err := validateWire(rec.Profile); err != nil {
+			return truncateAt(res, off, "invalid profile in record")
+		}
+		lastSeq = rec.Seq
+		res.records = append(res.records, &rec)
+		off += recHeaderLen + int64(bodyLen)
+	}
+}
+
+func truncateAt(res replayResult, off int64, reason string) replayResult {
+	res.goodOff = off
+	res.truncated = true
+	res.reason = reason
+	return res
+}
+
+// validateWire applies the structural checks a record's profile must
+// pass before it may touch aggregate state. Records were validated at
+// ingest time; re-checking at replay is defense in depth against a
+// checksum collision or a hand-edited log.
+func validateWire(w *profile.Wire) error {
+	if w.Version != profile.FormatVersion {
+		return fmt.Errorf("profdb: unsupported profile version %d", w.Version)
+	}
+	for _, a := range w.Arcs {
+		if a.Site < 0 || a.Callee < 0 || a.Weight < 0 {
+			return fmt.Errorf("profdb: invalid arc %d->%d weight %d", a.Site, a.Callee, a.Weight)
+		}
+	}
+	for _, e := range w.Entries {
+		if e.Method < 0 {
+			return fmt.Errorf("profdb: invalid entry method %d", e.Method)
+		}
+		for _, t := range e.Tuples {
+			for _, id := range t {
+				if id < 0 {
+					return fmt.Errorf("profdb: invalid entry class %d", id)
+				}
+			}
+		}
+	}
+	return nil
+}

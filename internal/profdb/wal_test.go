@@ -1,0 +1,147 @@
+package profdb
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"selspec/internal/profile"
+)
+
+// wp builds a minimal valid wire profile from (site, callee, weight)
+// triples.
+func wp(arcs ...[3]int64) *profile.Wire {
+	w := &profile.Wire{Version: profile.FormatVersion, Arcs: []profile.WireArc{}}
+	for _, a := range arcs {
+		w.Arcs = append(w.Arcs, profile.WireArc{Site: int(a[0]), Callee: int(a[1]), Weight: a[2]})
+	}
+	return w
+}
+
+// frames encodes a sequence of records into one WAL image.
+func frames(t testing.TB, recs ...*walRecord) []byte {
+	t.Helper()
+	var out []byte
+	for _, r := range recs {
+		b, err := encodeRecord(r)
+		if err != nil {
+			t.Fatalf("encodeRecord: %v", err)
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestScanWALRoundTrip(t *testing.T) {
+	img := frames(t,
+		&walRecord{Seq: 1, Program: "a", Epoch: 0, Profile: wp([3]int64{0, 0, 10})},
+		&walRecord{Seq: 2, Program: "b", Epoch: 1, Profile: wp([3]int64{1, 2, 3}, [3]int64{4, 5, 6})},
+	)
+	res := scanWAL(img)
+	if res.truncated {
+		t.Fatalf("clean log reported truncated: %s", res.reason)
+	}
+	if res.goodOff != int64(len(img)) {
+		t.Fatalf("goodOff = %d, want %d", res.goodOff, len(img))
+	}
+	if len(res.records) != 2 {
+		t.Fatalf("got %d records, want 2", len(res.records))
+	}
+	if res.records[0].Program != "a" || res.records[1].Program != "b" {
+		t.Fatalf("programs = %q, %q", res.records[0].Program, res.records[1].Program)
+	}
+	if res.records[1].Profile.Arcs[1].Weight != 6 {
+		t.Fatalf("arc weight = %d, want 6", res.records[1].Profile.Arcs[1].Weight)
+	}
+}
+
+func TestScanWALEmpty(t *testing.T) {
+	res := scanWAL(nil)
+	if res.truncated || res.goodOff != 0 || len(res.records) != 0 {
+		t.Fatalf("empty scan: %+v", res)
+	}
+}
+
+// TestScanWALTornTail covers the crash-artifact taxonomy: each
+// corruption of the second record must preserve the first record
+// exactly and truncate at the frame boundary.
+func TestScanWALTornTail(t *testing.T) {
+	r1 := &walRecord{Seq: 1, Program: "a", Epoch: 0, Profile: wp([3]int64{0, 0, 10})}
+	r2 := &walRecord{Seq: 2, Program: "a", Epoch: 0, Profile: wp([3]int64{0, 0, 20})}
+	f1 := frames(t, r1)
+	full := frames(t, r1, r2)
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"torn header", func(b []byte) []byte { return b[:len(f1)+3] }},
+		{"torn body", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"checksum flip", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		}},
+		{"zero length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(f1):], 0)
+			return b
+		}},
+		{"oversized length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(f1):], maxRecordLen+1)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := tc.corrupt(append([]byte(nil), full...))
+			res := scanWAL(img)
+			if !res.truncated {
+				t.Fatalf("corruption not detected")
+			}
+			if res.goodOff != int64(len(f1)) {
+				t.Fatalf("goodOff = %d, want %d (first record boundary)", res.goodOff, len(f1))
+			}
+			if len(res.records) != 1 || res.records[0].Seq != 1 {
+				t.Fatalf("surviving records: %d", len(res.records))
+			}
+		})
+	}
+}
+
+// A checksum-valid record can still be semantically bogus (hand-edited
+// log, checksum collision); the scanner must stop there too.
+func TestScanWALInconsistentRecords(t *testing.T) {
+	r1 := &walRecord{Seq: 5, Program: "a", Epoch: 0, Profile: wp([3]int64{0, 0, 1})}
+	cases := []struct {
+		name string
+		bad  *walRecord
+	}{
+		{"non-increasing seq", &walRecord{Seq: 5, Program: "a", Epoch: 0, Profile: wp()}},
+		{"nil profile", &walRecord{Seq: 6, Program: "a", Epoch: 0, Profile: nil}},
+		{"negative weight", &walRecord{Seq: 6, Program: "a", Epoch: 0, Profile: wp([3]int64{0, 0, -1})}},
+		{"bad version profile", &walRecord{Seq: 6, Program: "a", Epoch: 0,
+			Profile: &profile.Wire{Version: 99, Arcs: []profile.WireArc{}}}},
+	}
+	f1 := frames(t, r1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := frames(t, r1, tc.bad)
+			res := scanWAL(img)
+			if !res.truncated || res.goodOff != int64(len(f1)) || len(res.records) != 1 {
+				t.Fatalf("inconsistent record not cut: truncated=%v off=%d n=%d",
+					res.truncated, res.goodOff, len(res.records))
+			}
+		})
+	}
+}
+
+func TestScanWALUnknownVersion(t *testing.T) {
+	img := frames(t, &walRecord{Seq: 1, Program: "a", Epoch: 0, Profile: wp()})
+	img[recHeaderLen] = 42 // record version byte
+	// Fix the checksum so only the version check can trip.
+	body := img[recHeaderLen:]
+	binary.LittleEndian.PutUint32(img[4:8], crc32.Checksum(body, crcTable))
+	res := scanWAL(img)
+	if !res.truncated || res.goodOff != 0 {
+		t.Fatalf("unknown version accepted: %+v", res)
+	}
+}

@@ -10,6 +10,7 @@ package profile
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"selspec/internal/hier"
@@ -195,10 +196,22 @@ func (g *CallGraph) SiteArcs(site *ir.CallSite) []*Arc {
 	return out
 }
 
-// Merge adds every arc of other into g (same program required).
+// Merge adds every arc of other into g (same program required). Arc
+// weights are summed with the same int64 overflow guard UnmarshalInto
+// applies to duplicate arcs: a merge that would wrap errors before
+// touching g, so a poisoned aggregate can never come out of repeated
+// merging — the failure mode a long-lived profile database would
+// otherwise hit first.
 func (g *CallGraph) Merge(other *CallGraph) error {
 	if other.prog != g.prog {
 		return fmt.Errorf("profile: cannot merge call graphs from different programs")
+	}
+	// Validate the whole merge before applying any of it, so an
+	// overflow leaves g untouched rather than partially merged.
+	for k, a := range other.arcs {
+		if ex, ok := g.arcs[k]; ok && ex.Weight > math.MaxInt64-a.Weight {
+			return fmt.Errorf("profile: weight overflow merging arc %d->%d", k.siteID, k.calleeID)
+		}
 	}
 	for _, a := range other.arcs {
 		g.Record(a.Site, a.Callee, a.Weight)

@@ -78,7 +78,22 @@ const (
 	KindCanceled    = "canceled"      // client went away mid-run
 	KindPanic       = "panic"         // contained pipeline panic (isolated to this request)
 	KindProgram     = "program_error" // ordinary program error (parse, runtime, guard trip)
+
+	// Profile-database kinds (the /profiles endpoints).
+	KindRecovering = "profdb_recovering" // database replaying its WAL; retry after backoff
+	KindStorage    = "storage_error"     // durable write failed; worker needs a restart
+	KindBadProfile = "bad_profile"       // upload failed validation; do not retry
+	KindNoProfDB   = "profdb_disabled"   // server not started with -profile-db
 )
+
+// IngestResponse acknowledges one durable profile upload. Seq is the
+// database-wide sequence number the upload was logged under; by the
+// time a client sees it, the record is fsync'd — a crash after the ack
+// cannot lose it.
+type IngestResponse struct {
+	Program string `json:"program"`
+	Seq     uint64 `json:"seq"`
+}
 
 // ErrorBody is the JSON error envelope.
 type ErrorBody struct {
@@ -108,4 +123,9 @@ type Health struct {
 	Shed         uint64 `json:"shed"`
 	Faulted      uint64 `json:"faulted"` // contained pipeline panics
 	CircuitsOpen int    `json:"circuits_open"`
+	// ProfDB is the profile database state ("recovering", "ready",
+	// "failed"), empty when the server runs without one. A worker stays
+	// ready for /run traffic while "recovering" — only the /profiles
+	// endpoints wait for the WAL replay.
+	ProfDB string `json:"profdb,omitempty"`
 }

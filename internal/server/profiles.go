@@ -1,0 +1,178 @@
+package server
+
+// The durable profile endpoints: the serving face of internal/profdb.
+//
+//	POST /profiles/{program}  — validate an uploaded profile against the
+//	                            named benchmark and log it durably; the
+//	                            200 ack means the record is fsync'd.
+//	GET  /profiles/{program}  — export the decayed aggregate in the same
+//	                            wire format `specialize -use-profile`
+//	                            reads.
+//
+// Ingest shares the /run admission semaphore: validating an upload
+// parses and lowers the benchmark source (cached after the first), and
+// the fsync is real I/O, so uploads must not be free while /run traffic
+// is shed. Export is cheap and read-only and bypasses admission, like
+// /metrics.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"selspec/internal/driver"
+	"selspec/internal/profdb"
+	"selspec/internal/profile"
+	"selspec/internal/programs"
+)
+
+// benchProgram returns the lowered IR for a registered benchmark,
+// caching it: every upload for the same program validates against the
+// same immutable IR, so one parse+lower serves them all.
+func (s *Server) benchProgram(name string) (*driver.Pipeline, error) {
+	if p, ok := s.benchCache.Load(name); ok {
+		return p.(*driver.Pipeline), nil
+	}
+	b, ok := programs.ByName(name)
+	if !ok {
+		return nil, errUnknownBench
+	}
+	p, err := driver.LoadNamed(b.Name, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := s.benchCache.LoadOrStore(name, p)
+	return actual.(*driver.Pipeline), nil
+}
+
+var errUnknownBench = errors.New("unknown benchmark")
+
+// profDBReady gates a /profiles request on the database's lifecycle
+// state, writing the 503 itself when the database cannot serve yet
+// (recovering: retry here shortly) or anymore (failed: restart me).
+func (s *Server) profDBReady(w http.ResponseWriter) bool {
+	db := s.cfg.ProfileDB
+	switch db.State() {
+	case profdb.StateReady:
+		return true
+	case profdb.StateRecovering:
+		writeErr(w, http.StatusServiceUnavailable, ErrorBody{
+			Kind:         KindRecovering,
+			Error:        "profile database is replaying its WAL",
+			RetryAfterMS: time.Second.Milliseconds(),
+		})
+	default:
+		writeErr(w, http.StatusServiceUnavailable, ErrorBody{
+			Kind:  KindStorage,
+			Error: "profile database storage failed; worker restart required",
+		})
+	}
+	return false
+}
+
+func (s *Server) handleProfileIngest(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, ErrorBody{Kind: KindDraining, Error: "server is draining"})
+		return
+	}
+	if !s.profDBReady(w) {
+		return
+	}
+	name := r.PathValue("program")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrorBody{Kind: KindBadRequest, Error: "reading body: " + err.Error()})
+		return
+	}
+
+	// Validation parses benchmark source (first time) and the ingest
+	// fsyncs: both are work the admission semaphore exists to bound.
+	release, err := s.admit(r.Context())
+	switch {
+	case errors.Is(err, errShed):
+		s.shed.Add(1)
+		s.mShed.Inc()
+		writeErr(w, http.StatusTooManyRequests, ErrorBody{
+			Kind:         KindOverloaded,
+			Error:        "admission queue full",
+			RetryAfterMS: time.Second.Milliseconds(),
+		})
+		return
+	case err != nil:
+		writeErr(w, statusClientClosedRequest, ErrorBody{Kind: KindCanceled, Error: err.Error()})
+		return
+	}
+	defer release()
+
+	p, err := s.benchProgram(name)
+	if err != nil {
+		if errors.Is(err, errUnknownBench) {
+			writeErr(w, http.StatusNotFound, ErrorBody{Kind: KindBadRequest, Error: "unknown benchmark " + name})
+		} else {
+			writeErr(w, http.StatusInternalServerError, ErrorBody{Kind: KindBadRequest, Error: err.Error()})
+		}
+		return
+	}
+	// Full referential validation against the bound program: ids in
+	// range, weights sane, tuple arities matching. The database itself
+	// only re-checks structure; this is the layer that knows the IR.
+	cg := profile.NewCallGraph(p.Prog)
+	if err := cg.UnmarshalInto(body); err != nil {
+		s.cfg.ProfileDB.RecordReject()
+		writeErr(w, http.StatusUnprocessableEntity, ErrorBody{Kind: KindBadProfile, Error: err.Error()})
+		return
+	}
+
+	seq, err := s.cfg.ProfileDB.Ingest(name, cg.Wire())
+	if err != nil {
+		var rej *profdb.RejectError
+		switch {
+		case errors.As(err, &rej):
+			writeErr(w, http.StatusUnprocessableEntity, ErrorBody{Kind: KindBadProfile, Error: rej.Msg})
+		case errors.Is(err, profdb.ErrRecovering):
+			writeErr(w, http.StatusServiceUnavailable, ErrorBody{
+				Kind:         KindRecovering,
+				Error:        "profile database is replaying its WAL",
+				RetryAfterMS: time.Second.Milliseconds(),
+			})
+		default:
+			// Durable write failed: the database is fail-stop and this
+			// worker needs a restart to re-derive disk truth.
+			writeErr(w, http.StatusServiceUnavailable, ErrorBody{Kind: KindStorage, Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Program: name, Seq: seq})
+}
+
+func (s *Server) handleProfileExport(w http.ResponseWriter, r *http.Request) {
+	if !s.profDBReady(w) {
+		return
+	}
+	name := r.PathValue("program")
+	wire, err := s.cfg.ProfileDB.Export(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, profdb.ErrUnknownProgram):
+			writeErr(w, http.StatusNotFound, ErrorBody{Kind: KindBadRequest, Error: "no profile aggregate for " + name})
+		case errors.Is(err, profdb.ErrRecovering):
+			writeErr(w, http.StatusServiceUnavailable, ErrorBody{
+				Kind:         KindRecovering,
+				Error:        "profile database is replaying its WAL",
+				RetryAfterMS: time.Second.Milliseconds(),
+			})
+		default:
+			writeErr(w, http.StatusServiceUnavailable, ErrorBody{Kind: KindStorage, Error: err.Error()})
+		}
+		return
+	}
+	data, err := wire.Marshal()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, ErrorBody{Kind: KindStorage, Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selspec/internal/driver"
+	"selspec/internal/profdb"
+	"selspec/internal/profile"
+	"selspec/internal/programs"
+)
+
+// benchProfileJSON builds a small valid profile for a registered
+// benchmark by recording a couple of real arcs against its IR.
+func benchProfileJSON(t *testing.T, bench string, weight int64) []byte {
+	t.Helper()
+	b, ok := programs.ByName(bench)
+	if !ok {
+		t.Fatalf("benchmark %q not registered", bench)
+	}
+	p, err := driver.LoadNamed(b.Name, b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := profile.NewCallGraph(p.Prog)
+	cg.Record(p.Prog.Sites[0], p.Prog.H.Methods()[0], weight)
+	cg.Record(p.Prog.Sites[1], p.Prog.H.Methods()[0], weight*2)
+	data, err := cg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func profServer(t *testing.T, cfg Config) (*httptest.Server, *profdb.DB) {
+	t.Helper()
+	if cfg.ProfileDB == nil {
+		db, err := profdb.Open(t.TempDir(), profdb.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		cfg.ProfileDB = db
+	}
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, cfg.ProfileDB
+}
+
+func postProfile(t *testing.T, ts *httptest.Server, bench string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/profiles/"+bench, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestProfileIngestExportRoundTrip(t *testing.T) {
+	ts, db := profServer(t, Config{})
+	up := benchProfileJSON(t, "Richards", 10)
+
+	code, body := postProfile(t, ts, "Richards", up)
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+	var ack IngestResponse
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Seq != 1 || ack.Program != "Richards" {
+		t.Fatalf("ack = %s (err %v)", body, err)
+	}
+	// Second upload merges.
+	if code, _ := postProfile(t, ts, "Richards", up); code != http.StatusOK {
+		t.Fatalf("second ingest = %d", code)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/profiles/Richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exported, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export = %d: %s", resp.StatusCode, exported)
+	}
+	w, err := profile.ParseWire(exported)
+	if err != nil {
+		t.Fatalf("export not parseable: %v", err)
+	}
+	if len(w.Arcs) != 2 || w.Arcs[0].Weight != 20 || w.Arcs[1].Weight != 40 {
+		t.Fatalf("aggregate arcs = %+v, want doubled weights", w.Arcs)
+	}
+	// The acked uploads are durable in the database too.
+	if got := db.Stats().Seq; got != 2 {
+		t.Fatalf("db seq = %d", got)
+	}
+}
+
+func TestProfileIngestValidation(t *testing.T) {
+	ts, db := profServer(t, Config{})
+
+	// Unknown benchmark.
+	if code, body := postProfile(t, ts, "NoSuchBench", []byte(`{"version":1,"arcs":[]}`)); code != http.StatusNotFound {
+		t.Fatalf("unknown bench = %d: %s", code, body)
+	}
+	// Malformed profile.
+	code, body := postProfile(t, ts, "Richards", []byte(`{nope`))
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed = %d: %s", code, body)
+	}
+	var eb ErrorBody
+	json.Unmarshal(body, &eb)
+	if eb.Kind != KindBadProfile {
+		t.Fatalf("kind = %q", eb.Kind)
+	}
+	// A profile whose ids don't exist in the bound program.
+	bad := []byte(`{"version":1,"arcs":[{"site":99999,"callee":0,"weight":1}]}`)
+	if code, _ := postProfile(t, ts, "Richards", bad); code != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range profile = %d", code)
+	}
+	// Nothing reached the log.
+	if db.Stats().Seq != 0 {
+		t.Fatalf("rejects were logged: seq = %d", db.Stats().Seq)
+	}
+	// Export of a program with no aggregate.
+	resp, err := ts.Client().Get(ts.URL + "/profiles/Richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty export = %d", resp.StatusCode)
+	}
+}
+
+// During WAL replay the worker answers /run and health traffic but
+// holds profile traffic at the door with 503 + Retry-After; /readyz
+// stays 200 (body-only reflection) so the fleet does not eject a
+// worker that is merely replaying its log.
+func TestProfileEndpointsDuringRecovery(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := profdb.Open(dir, profdb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	db, err := profdb.OpenAsync(dir, profdb.Config{RecoveryHook: func() {
+		close(entered)
+		<-gate
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ts, _ := profServer(t, Config{ProfileDB: db})
+	<-entered
+
+	code, body := postProfile(t, ts, "Richards", benchProfileJSON(t, "Richards", 1))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest during recovery = %d: %s", code, body)
+	}
+	var eb ErrorBody
+	json.Unmarshal(body, &eb)
+	if eb.Kind != KindRecovering || eb.RetryAfterMS <= 0 {
+		t.Fatalf("recovering body = %+v", eb)
+	}
+
+	// /readyz still 200, with the profdb state visible in the body.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz during profdb recovery = %d", resp.StatusCode)
+	}
+	var h Health
+	json.Unmarshal(rb, &h)
+	if h.ProfDB != profdb.StateRecovering {
+		t.Fatalf("health profdb = %q, want recovering", h.ProfDB)
+	}
+	// /run is unaffected by profdb recovery.
+	if code, _, _ := post(t, ts, RunRequest{Source: testProg}); code != http.StatusOK {
+		t.Fatalf("/run during profdb recovery = %d", code)
+	}
+
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for db.State() != profdb.StateReady {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := postProfile(t, ts, "Richards", benchProfileJSON(t, "Richards", 1)); code != http.StatusOK {
+		t.Fatalf("ingest after recovery = %d", code)
+	}
+	resp2, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	json.Unmarshal(rb2, &h)
+	if h.ProfDB != profdb.StateReady {
+		t.Fatalf("health profdb after recovery = %q", h.ProfDB)
+	}
+}
+
+func TestProfileIngestRejectedWhileDraining(t *testing.T) {
+	db, err := profdb.Open(t.TempDir(), profdb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := New(Config{ProfileDB: db})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.BeginDrain()
+	code, body := postProfile(t, ts, "Richards", benchProfileJSON(t, "Richards", 1))
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), KindDraining) {
+		t.Fatalf("draining ingest = %d: %s", code, body)
+	}
+}
+
+func TestProfileEndpointsAbsentWithoutDB(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/profiles/Richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("profiles without db = %d, want 404", resp.StatusCode)
+	}
+	// And health carries no profdb field.
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if bytes.Contains(hb, []byte("profdb")) {
+		t.Fatalf("health leaks profdb field: %s", hb)
+	}
+}

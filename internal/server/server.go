@@ -43,6 +43,7 @@ import (
 	"selspec/internal/obs"
 	"selspec/internal/opt"
 	"selspec/internal/pipeline"
+	"selspec/internal/profdb"
 	"selspec/internal/programs"
 	"selspec/internal/specialize"
 )
@@ -89,6 +90,11 @@ type Config struct {
 	// bytecode tier. A verifier finding fails the request like any
 	// other contained pipeline fault.
 	Verify bool
+	// ProfileDB, when non-nil, enables the durable profile endpoints
+	// (POST/GET /profiles/{program}). The server serves /run traffic
+	// regardless of the database's recovery state; /profiles answers
+	// 503 + Retry-After until the WAL replay finishes.
+	ProfileDB *profdb.DB
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +153,9 @@ type Server struct {
 
 	breaker *breaker
 	mux     *http.ServeMux
+	// benchCache caches parsed+lowered benchmark programs for profile
+	// upload validation (name → *driver.Pipeline).
+	benchCache sync.Map
 
 	// OnListen, when set before ListenAndServe, receives the bound
 	// address (tests listen on :0 and need the real port).
@@ -173,6 +182,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.ProfileDB != nil {
+		s.mux.HandleFunc("POST /profiles/{program}", s.handleProfileIngest)
+		s.mux.HandleFunc("GET /profiles/{program}", s.handleProfileExport)
+	}
 	return s
 }
 
@@ -222,7 +235,7 @@ func (s *Server) health() Health {
 	if s.Draining() {
 		st = "draining"
 	}
-	return Health{
+	h := Health{
 		Status:       st,
 		PID:          os.Getpid(),
 		InFlight:     s.inflight.Load(),
@@ -232,6 +245,10 @@ func (s *Server) health() Health {
 		Faulted:      s.faulted.Load(),
 		CircuitsOpen: s.breaker.openCount(),
 	}
+	if s.cfg.ProfileDB != nil {
+		h.ProfDB = s.cfg.ProfileDB.State()
+	}
+	return h
 }
 
 // handleHealthz is liveness: 200 as long as the process can serve
