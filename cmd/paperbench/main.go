@@ -20,6 +20,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +30,11 @@ import (
 
 	"selspec/internal/bench"
 	"selspec/internal/driver"
+	"selspec/internal/gen"
 	"selspec/internal/obs"
 	"selspec/internal/pipeline"
 	"selspec/internal/profdb"
+	"selspec/internal/programs"
 	"selspec/internal/specialize"
 )
 
@@ -62,6 +65,10 @@ func run() error {
 		baseOut   = flag.String("baseline-out", "BENCH_baseline.json", "output path for the tree-tier trajectory in -engine both mode")
 		reps      = flag.Int("reps", 1, "repeat each cell's measured run N times, keeping the fastest wall (counters are deterministic and identical across reps)")
 		verify    = flag.Bool("verify", false, "run the bytecode verifier over every cell's compiled module (outside the measured window)")
+		generated = flag.Int("generated", 0, "append N generated stress programs (internal/gen) to the grid")
+		genSeed   = flag.Uint64("seed", 1, "base seed for -generated (program k uses seed+k)")
+		genSize   = flag.Int("gen-classes", 40, "classes per generated program")
+		probe     = flag.Bool("gen-probe", false, "run the generator scale probe (hierarchy + dispatch-table cost) instead of the grid; sized by -gen-classes/-seed")
 	)
 	flag.Parse()
 
@@ -72,6 +79,26 @@ func run() error {
 		if engine, err = driver.ParseEngine(*engineFl); err != nil {
 			return err
 		}
+	}
+
+	if *probe {
+		rep, err := gen.Probe(gen.Config{Seed: *genSeed, Classes: *genSize, Methods: 4 * *genSize})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := profdb.WriteFileAtomic(*outPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+			return nil
+		}
+		fmt.Println(rep)
+		return nil
 	}
 
 	// Static tables need no measurements.
@@ -94,6 +121,18 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Generated stress programs ride the grid like the embedded four:
+	// program k is fully determined by seed+k, so a failing cell names
+	// the exact seed to reproduce it with `selspec gen`.
+	var extra []programs.Benchmark
+	for k := 0; k < *generated; k++ {
+		extra = append(extra, gen.New(gen.Config{
+			Seed:    *genSeed + uint64(k),
+			Classes: *genSize,
+			Methods: 4 * *genSize,
+		}).Benchmark())
+	}
+
 	ho := bench.Options{
 		Quick:      *quick,
 		SpecParams: specialize.Params{Threshold: *threshold},
@@ -104,6 +143,7 @@ func run() error {
 		Engine:     engine,
 		Reps:       *reps,
 		Verify:     *verify,
+		Extra:      extra,
 	}
 
 	// -json runs carry the grid's counter snapshot in the trajectory's

@@ -11,6 +11,7 @@
 //	selspec check [-format text|json] [-bench Name] program.mc...
 //	selspec serve [-addr host:port] [-max-concurrent N] [-timeout 30s]
 //	selspec fleet [-addr host:port] [-workers N] [-retries N]
+//	selspec gen [-seed N] [-classes N] [-methods N] [-depth N] [-probe]
 //
 // Examples:
 //
@@ -68,6 +69,9 @@ func run() error {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		return runFleet(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		return runGen(os.Args[2:])
 	}
 	var (
 		configName = flag.String("config", "Base", "compiler configuration: "+strings.Join(opt.ConfigNames(), ", "))

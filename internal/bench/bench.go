@@ -99,6 +99,16 @@ type Options struct {
 	// execution. Verification happens outside the measured window, so
 	// reported walls are comparable with unverified runs.
 	Verify bool
+	// Extra appends benchmarks (e.g. generated stress programs from
+	// internal/gen) to the embedded suite: their cells flow through the
+	// same grid, figures, failures and trajectory as the paper's four.
+	Extra []programs.Benchmark
+}
+
+// suitePrograms is the benchmark list for one harness run: the embedded
+// suite plus any Extra programs, in that order.
+func (ho Options) suitePrograms() []programs.Benchmark {
+	return append(programs.All(), ho.Extra...)
 }
 
 // Fault injection for degradation tests goes through the pipeline
@@ -301,7 +311,7 @@ func (s *Suite) FailureSummary(w io.Writer) {
 // (benchmark, config) grid order. The returned error is non-nil only
 // when the harness itself cannot set up the grid.
 func RunSuite(ho Options) (*Suite, error) {
-	benches := programs.All()
+	benches := ho.suitePrograms()
 	cfgs := opt.Configs()
 	s := &Suite{Results: make(map[string]map[opt.Config]*Result, len(benches))}
 	for _, b := range benches {
@@ -394,7 +404,7 @@ type prepared struct {
 // trajectories' metrics blocks byte-comparable: an engine pair that
 // executes identically produces identical counter totals.
 func RunSuitePair(a, b Options) (*Suite, *Suite, error) {
-	benches := programs.All()
+	benches := a.suitePrograms()
 	cfgs := opt.Configs()
 	opts := [2]Options{a, b}
 	var suites [2]*Suite

@@ -1,0 +1,89 @@
+// Scale benchmarks for pole-compressed multi-method table construction
+// over generated mega-hierarchies (package dispatch_test so it can
+// import internal/gen without an import cycle — the gen->dispatch edge
+// only exists in test code).
+//
+// Run with:
+//
+//	go test ./internal/dispatch -bench MMTable -benchtime 3x
+package dispatch_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"selspec/internal/dispatch"
+	"selspec/internal/gen"
+	"selspec/internal/hier"
+	"selspec/internal/lang"
+)
+
+var (
+	scaleMu     sync.Mutex
+	scaleHiers  = map[int]*hier.Hierarchy{}
+	scaleMultis = map[int][]*hier.GF{}
+)
+
+// scaleHier builds (once per size) the frozen hierarchy for a generated
+// program with the given class count, plus its multi-dispatch GFs
+// ranked by method count — the same slice the gen scale probe tables.
+func scaleHier(tb testing.TB, classes int) (*hier.Hierarchy, []*hier.GF) {
+	tb.Helper()
+	scaleMu.Lock()
+	defer scaleMu.Unlock()
+	if h, ok := scaleHiers[classes]; ok {
+		return h, scaleMultis[classes]
+	}
+	src := gen.New(gen.Config{Seed: 7, Classes: classes, Methods: 4 * classes, Depth: 32}).Source()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		tb.Fatalf("parse generated program: %v", err)
+	}
+	h, err := hier.Build(prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h.Freeze()
+	var multi []*hier.GF
+	for _, gf := range h.GFs() {
+		if len(gf.DispatchedPositions()) >= 1 && len(gf.Methods) > 1 {
+			multi = append(multi, gf)
+		}
+	}
+	sort.Slice(multi, func(i, j int) bool {
+		if len(multi[i].Methods) != len(multi[j].Methods) {
+			return len(multi[i].Methods) > len(multi[j].Methods)
+		}
+		return multi[i].Name < multi[j].Name
+	})
+	if len(multi) > 64 {
+		multi = multi[:64]
+	}
+	scaleHiers[classes] = h
+	scaleMultis[classes] = multi
+	return h, multi
+}
+
+func benchMMTable(b *testing.B, classes int) {
+	h, multi := scaleHier(b, classes)
+	if len(multi) == 0 {
+		b.Fatal("generated program has no multi-dispatch GFs")
+	}
+	entries := 0
+	for i := 0; i < b.N; i++ {
+		entries = 0
+		for _, gf := range multi {
+			tbl, err := dispatch.NewMMTable(h, gf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			entries += tbl.Size()
+		}
+	}
+	b.ReportMetric(float64(len(multi)), "gfs")
+	b.ReportMetric(float64(entries), "entries")
+}
+
+func BenchmarkMMTableBuild1k(b *testing.B)  { benchMMTable(b, 1_000) }
+func BenchmarkMMTableBuild10k(b *testing.B) { benchMMTable(b, 10_000) }

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"selspec/internal/driver"
+	"selspec/internal/opt"
+)
+
+// gridGuards keeps individual grid cells snappy; generated programs at
+// grid scale run well under a million steps.
+var gridGuards = Guards{StepLimit: 20_000_000}
+
+// TestDifferentialGrid: 25 fixed-seed generated programs × {tree, vm} ×
+// {Base, Selective}, byte-identical value/output/error-text/counters/
+// step counts. Run with -race in CI.
+func TestDifferentialGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g := New(Config{Seed: seed, Classes: 30, Methods: 120, CheckClean: seed%3 == 0})
+			b := g.Benchmark()
+			for _, cfg := range []opt.Config{opt.Base, opt.Selective} {
+				if err := CompareEngines(b, cfg, gridGuards); err != nil {
+					t.Errorf("%v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestConfigSemantics: every optimization configuration must preserve
+// Base semantics on generated programs, under both engines.
+func TestConfigSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config sweep skipped in -short mode")
+	}
+	for seed := uint64(30); seed <= 35; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			b := New(Config{Seed: seed, Classes: 25, Methods: 100}).Benchmark()
+			for _, eng := range []driver.Engine{driver.EngineTree, driver.EngineVM} {
+				if err := CompareConfigs(b, opt.Configs(), eng, gridGuards); err != nil {
+					t.Errorf("engine %v: %v", eng, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDeterminism: the full differential observation of a
+// fixed seed is reproducible run-to-run (not just the source text).
+func TestDifferentialDeterminism(t *testing.T) {
+	t.Parallel()
+	b := New(Config{Seed: 77, Classes: 30, Methods: 120}).Benchmark()
+	first, err := Observe(b, opt.Selective, driver.EngineVM, gridGuards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Observe(b, opt.Selective, driver.EngineVM, gridGuards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("two observations of the same cell differ:\n%+v\n%+v", first, second)
+	}
+}

@@ -1,0 +1,819 @@
+// Package gen is the seeded Mini-Cecil program generator behind the
+// differential stress harness: it grows class DAGs and call graphs at
+// configurable scale (tens of classes for property tests, 10k classes /
+// 100k methods for scale probes) and emits them as valid source via the
+// AST printer, so every generated program flows through the unchanged
+// production pipeline: parse → check → specialize → vm compile →
+// verify → run.
+//
+// Generation is fully deterministic: the same Config (including Seed)
+// produces byte-identical source on every run, platform and Go
+// version — the generator uses its own splitmix64 stream and never
+// iterates a Go map. That property is what makes generated programs
+// usable as fixed benchmark cells, fuzz corpus seeds and shrinking
+// targets.
+//
+// The shape of a generated program is chosen to stress the layers the
+// hand-written paper benchmarks cannot: deep primary inheritance
+// chains with multiple-inheritance cross links (hier cones and
+// ApplicableClasses), multi-method generic functions of dispatch arity
+// up to 3 whose specializer "ladders" climb one primary chain
+// (compressed dispatch tables and the specializer's tuple-intersection
+// closure), closures with occasional non-local returns, and typed
+// integer field reads/writes in the shapes the VM fuses into
+// superinstructions.
+//
+// Every generated generic function carries an all-Any fallback method,
+// and all of its specialized methods sit on a single primary-parent
+// chain, so any two methods are pointwise comparable: generated
+// programs are message-not-understood-free and ambiguity-free by
+// construction, for every argument tuple — divergence found by the
+// harness is therefore always an engine bug, never a degenerate
+// program.
+package gen
+
+import (
+	"fmt"
+
+	"selspec/internal/lang"
+	"selspec/internal/programs"
+)
+
+// Config sets the generator's scale and shape knobs. The zero value is
+// usable: Normalize fills in defaults.
+type Config struct {
+	// Seed selects the program. Same Config ⇒ byte-identical source.
+	Seed uint64
+	// Classes is the number of generated classes (default 40).
+	Classes int
+	// Methods is the approximate number of generated methods; the
+	// generator adds whole generic functions until it crosses this
+	// target (default 4×Classes).
+	Methods int
+	// Depth is the minimum primary-chain inheritance depth (default 8,
+	// capped at Classes).
+	Depth int
+	// MaxArity bounds the dispatched arity of generated multi-methods,
+	// 1..3 (default 3).
+	MaxArity int
+	// CheckClean makes the program `selspec check`-clean: every
+	// generated generic function is invoked from main's driver loop and
+	// every specializer class is instantiated, so no dead-method or
+	// useless-specialization findings are possible. Costs main-size
+	// proportional to the number of generic functions; leave it off for
+	// 10k-class scale runs.
+	CheckClean bool
+	// Drivers caps the number of classes instantiated and rotated
+	// through the polymorphic driver loop in main (default 24;
+	// CheckClean forces at least one driver per specializer class).
+	Drivers int
+	// CalledGFs caps how many generic functions main's driver waves
+	// invoke directly when CheckClean is off (default 48; the rest stay
+	// reachable only through the generated call graph, or dead).
+	CalledGFs int
+	// TrainReps/TestReps are the values of the genReps input-size
+	// global under the training and measurement inputs (defaults 2/3).
+	TrainReps, TestReps int64
+}
+
+// Normalize returns cfg with defaults filled in and bounds applied —
+// the exact Config a Program records, so a report of the normalized
+// Config reproduces the program.
+func (c Config) Normalize() Config {
+	if c.Classes <= 0 {
+		c.Classes = 40
+	}
+	if c.Classes < 4 {
+		c.Classes = 4
+	}
+	if c.Methods <= 0 {
+		c.Methods = 4 * c.Classes
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.Depth > c.Classes {
+		c.Depth = c.Classes
+	}
+	if c.MaxArity <= 0 {
+		c.MaxArity = 3
+	}
+	if c.MaxArity > 3 {
+		c.MaxArity = 3
+	}
+	if c.Drivers <= 0 {
+		c.Drivers = 24
+	}
+	if c.CalledGFs <= 0 {
+		c.CalledGFs = 48
+	}
+	if c.TrainReps <= 0 {
+		c.TrainReps = 2
+	}
+	if c.TestReps <= 0 {
+		c.TestReps = 3
+	}
+	return c
+}
+
+// rng is a splitmix64 stream: deterministic across platforms and Go
+// versions, unlike math/rand's unspecified algorithm.
+type rng struct{ x uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{x: seed ^ 0x6a09e667f3bcc908} }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pct is true with probability p/100.
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+// paramKind classifies a generated generic function's formals.
+type paramKind int
+
+const (
+	pObj paramKind = iota // dispatched object position
+	pInt                  // undispatched integer
+	pClo                  // undispatched one-argument closure
+)
+
+// genGF is the model of one generated generic function.
+type genGF struct {
+	Name   string
+	Params []paramKind // dispatched pObj positions first
+	Disp   int         // dispatched arity (1..3)
+	Ladder []int       // specializer class indices, general → specific
+	Rank   int         // callees must have strictly smaller rank
+}
+
+// genClass is the model of one generated class.
+type genClass struct {
+	Name    string
+	Primary int      // primary parent index; -1 for the root
+	Extras  []int    // additional (multiple-inheritance) parent indices
+	Fields  []string // own integer fields
+	Inits   []int64
+	Depth   int // 1 + max parent depth
+}
+
+// Stats summarizes a generated program's actual shape.
+type Stats struct {
+	Classes   int `json:"classes"`
+	Methods   int `json:"methods"` // all methods, waves and main included
+	GFs       int `json:"gfs"`     // generated multi-method generic functions
+	MaxDepth  int `json:"max_depth"`
+	MaxArity  int `json:"max_arity"` // max dispatched arity actually used
+	MIClasses int `json:"mi_classes"`
+	Drivers   int `json:"drivers"`
+	CalledGFs int `json:"called_gfs"`
+}
+
+// Program is one generated program: its model, its AST and its
+// rendered source.
+type Program struct {
+	Cfg     Config // normalized
+	AST     *lang.Program
+	GFs     []*genGF
+	Classes []*genClass
+	Stats   Stats
+
+	src string
+}
+
+// maxRank bounds the generated call-graph depth: a body only calls
+// generic functions of strictly smaller rank, so the guest call chain
+// below any send is at most maxRank deep (plus leaf closures), far
+// inside the interpreter's default depth guard.
+const maxRank = 5
+
+// New generates the program for cfg. It never fails: every reachable
+// Config produces a parseable, runnable program.
+func New(cfg Config) *Program {
+	cfg = cfg.Normalize()
+	r := newRNG(cfg.Seed)
+	g := &Program{Cfg: cfg}
+	g.genClasses(r)
+	g.genGFs(r)
+	ast := &lang.Program{}
+	for _, c := range g.Classes {
+		ast.Classes = append(ast.Classes, g.classDecl(c))
+	}
+	ast.Globals = append(ast.Globals, &lang.GlobalDecl{Name: "genReps", Init: intL(cfg.TrainReps)})
+	for _, gf := range g.GFs {
+		for _, m := range g.methodsFor(r, gf) {
+			ast.Methods = append(ast.Methods, m)
+		}
+	}
+	ast.Methods = append(ast.Methods, g.driverMethods(r)...)
+	g.AST = ast
+	g.Stats.Classes = len(g.Classes)
+	g.Stats.Methods = len(ast.Methods)
+	g.Stats.GFs = len(g.GFs)
+	return g
+}
+
+// Source renders (and caches) the program text.
+func (g *Program) Source() string {
+	if g.src == "" {
+		g.src = fmt.Sprintf("-- generated: seed=%d classes=%d methods=%d depth=%d arity=%d clean=%t\n%s",
+			g.Cfg.Seed, g.Cfg.Classes, g.Cfg.Methods, g.Cfg.Depth, g.Cfg.MaxArity, g.Cfg.CheckClean,
+			lang.Format(g.AST))
+	}
+	return g.src
+}
+
+// Name returns the benchmark-style identity of the generated program.
+func (g *Program) Name() string { return fmt.Sprintf("Gen-%d", g.Cfg.Seed) }
+
+// Benchmark wraps the program as an embedded-benchmark cell: the
+// genReps input-size global carries the training/measurement split, so
+// generated cells flow through the harness grid (profile runs included)
+// exactly like the paper benchmarks.
+func (g *Program) Benchmark() programs.Benchmark {
+	return programs.Benchmark{
+		Name:        g.Name(),
+		Description: fmt.Sprintf("generated: %d classes, %d methods, depth %d", g.Stats.Classes, g.Stats.Methods, g.Stats.MaxDepth),
+		Source:      g.Source(),
+		Train:       map[string]int64{"genReps": g.Cfg.TrainReps},
+		Test:        map[string]int64{"genReps": g.Cfg.TestReps},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Class DAG
+// ---------------------------------------------------------------------
+
+func className(i int) string { return fmt.Sprintf("GC%d", i) }
+
+func (g *Program) genClasses(r *rng) {
+	n := g.Cfg.Classes
+	g.Classes = make([]*genClass, n)
+	for i := 0; i < n; i++ {
+		c := &genClass{Name: className(i), Primary: -1, Depth: 1}
+		if i > 0 {
+			// The first Depth classes form the guaranteed-deep primary
+			// spine; the rest attach anywhere, biased toward recent
+			// classes so depth keeps growing off-spine too.
+			if i < g.Cfg.Depth {
+				c.Primary = i - 1
+			} else if r.pct(50) {
+				lo := i - 1 - r.intn(min(i, 8))
+				c.Primary = lo
+			} else {
+				c.Primary = r.intn(i)
+			}
+			c.Depth = g.Classes[c.Primary].Depth + 1
+			// Multiple inheritance: a quarter of the classes pick one or
+			// two extra parents among the earlier classes. Field names
+			// are globally unique, so diamonds never conflict.
+			if r.pct(25) && i >= 2 {
+				for k := 0; k < 1+r.intn(2); k++ {
+					e := r.intn(i)
+					if e == c.Primary || containsInt(c.Extras, e) {
+						continue
+					}
+					c.Extras = append(c.Extras, e)
+					if d := g.Classes[e].Depth + 1; d > c.Depth {
+						c.Depth = d
+					}
+				}
+				if len(c.Extras) > 0 {
+					g.Stats.MIClasses++
+				}
+			}
+		}
+		// One or two own integer fields, globally-unique names.
+		for k := 0; k <= r.intn(2); k++ {
+			c.Fields = append(c.Fields, fmt.Sprintf("gf%dx%d", i, k))
+			c.Inits = append(c.Inits, int64(1+r.intn(9)))
+		}
+		if c.Depth > g.Stats.MaxDepth {
+			g.Stats.MaxDepth = c.Depth
+		}
+		g.Classes[i] = c
+	}
+}
+
+func (g *Program) classDecl(c *genClass) *lang.ClassDecl {
+	d := &lang.ClassDecl{Name: c.Name}
+	if c.Primary >= 0 {
+		d.Parents = append(d.Parents, g.Classes[c.Primary].Name)
+	}
+	for _, e := range c.Extras {
+		d.Parents = append(d.Parents, g.Classes[e].Name)
+	}
+	for i, f := range c.Fields {
+		d.Fields = append(d.Fields, &lang.FieldDecl{Name: f, Type: "Int", Init: intL(c.Inits[i])})
+	}
+	return d
+}
+
+// chainOf returns the primary-parent chain of class i, most-derived
+// first, ending at the primary root.
+func (g *Program) chainOf(i int) []int {
+	var chain []int
+	for i >= 0 {
+		chain = append(chain, i)
+		i = g.Classes[i].Primary
+	}
+	return chain
+}
+
+// fieldsOf returns every field readable on an instance of class i (own
+// plus all ancestors', primary and extra), in deterministic order.
+func (g *Program) fieldsOf(i int) []string {
+	var out []string
+	visited := make(map[int]bool)
+	var walk func(int)
+	walk = func(c int) {
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		cl := g.Classes[c]
+		if cl.Primary >= 0 {
+			walk(cl.Primary)
+		}
+		for _, e := range cl.Extras {
+			walk(e)
+		}
+		out = append(out, cl.Fields...)
+	}
+	walk(i)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Generic functions
+// ---------------------------------------------------------------------
+
+func gfName(i int) string { return fmt.Sprintf("gm%d", i) }
+
+func (g *Program) genGFs(r *rng) {
+	methods := 0
+	for methods < g.Cfg.Methods {
+		gf := &genGF{Name: gfName(len(g.GFs)), Rank: r.intn(maxRank + 1)}
+		// Dispatched arity: mostly 1, sometimes 2, rarely 3.
+		switch p := r.intn(100); {
+		case p < 60 || g.Cfg.MaxArity == 1:
+			gf.Disp = 1
+		case p < 85 || g.Cfg.MaxArity == 2:
+			gf.Disp = 2
+		default:
+			gf.Disp = 3
+		}
+		if gf.Disp > g.Stats.MaxArity {
+			g.Stats.MaxArity = gf.Disp
+		}
+		for i := 0; i < gf.Disp; i++ {
+			gf.Params = append(gf.Params, pObj)
+		}
+		// Zero or one undispatched extra: an int or a closure argument.
+		if r.pct(40) {
+			if r.pct(30) {
+				gf.Params = append(gf.Params, pClo)
+			} else {
+				gf.Params = append(gf.Params, pInt)
+			}
+		}
+		// Specializer ladder: a handful of classes off one primary
+		// chain, general → specific. All methods of the GF are pairwise
+		// pointwise-comparable, so dispatch is never ambiguous.
+		start := r.intn(len(g.Classes))
+		// Prefer deep starting classes so ladders have room.
+		if alt := r.intn(len(g.Classes)); g.Classes[alt].Depth > g.Classes[start].Depth {
+			start = alt
+		}
+		chain := g.chainOf(start)
+		want := 1 + r.intn(4)
+		if want > len(chain) {
+			want = len(chain)
+		}
+		// Pick `want` distinct chain positions; chain is most-derived
+		// first, ladder wants general → specific, so fill backwards.
+		picked := pickDistinct(r, len(chain), want)
+		for k := len(picked) - 1; k >= 0; k-- {
+			gf.Ladder = append(gf.Ladder, chain[picked[k]])
+		}
+		g.GFs = append(g.GFs, gf)
+		methods += 1 + len(gf.Ladder) // fallback + ladder methods
+	}
+}
+
+// pickDistinct returns `want` distinct ints in [0,n), ascending.
+func pickDistinct(r *rng, n, want int) []int {
+	picked := make([]bool, n)
+	got := 0
+	for got < want {
+		i := r.intn(n)
+		if !picked[i] {
+			picked[i] = true
+			got++
+		}
+	}
+	out := make([]int, 0, want)
+	for i, p := range picked {
+		if p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// methodsFor emits the fallback and ladder methods of one GF.
+func (g *Program) methodsFor(r *rng, gf *genGF) []*lang.MethodDecl {
+	var out []*lang.MethodDecl
+	out = append(out, g.methodDecl(r, gf, -1))
+	for lvl := range gf.Ladder {
+		out = append(out, g.methodDecl(r, gf, lvl))
+	}
+	return out
+}
+
+// methodDecl emits one method: lvl == -1 is the all-Any fallback,
+// otherwise the method specialized at ladder class gf.Ladder[lvl] in
+// every dispatched position.
+func (g *Program) methodDecl(r *rng, gf *genGF, lvl int) *lang.MethodDecl {
+	m := &lang.MethodDecl{Name: gf.Name}
+	spec := ""
+	specClass := -1
+	if lvl >= 0 {
+		specClass = gf.Ladder[lvl]
+		spec = g.Classes[specClass].Name
+	}
+	for i, k := range gf.Params {
+		p := lang.Param{Name: fmt.Sprintf("gp%d", i)}
+		if k == pObj && lvl >= 0 {
+			p.Spec = spec
+		}
+		m.Params = append(m.Params, p)
+	}
+	m.Body = g.body(r, gf, specClass)
+	return m
+}
+
+// body generates a method body: a local accumulator, a few statements
+// off the menu (field ops, calls down-rank, bounded loops, closures,
+// conditionals), and the accumulator as the trailing result expression.
+// specClass >= 0 makes the dispatched params' fields accessible.
+func (g *Program) body(r *rng, gf *genGF, specClass int) *lang.Block {
+	b := &lang.Block{}
+	b.Stmts = append(b.Stmts, varDecl("gacc", intL(int64(r.intn(10)))))
+	closures := 0
+	for n := 2 + r.intn(3); n > 0; n-- {
+		switch pick := r.intn(100); {
+		case pick < 30 && specClass >= 0:
+			g.stmtFieldOp(r, b, gf, specClass)
+		case pick < 55:
+			g.stmtCall(r, b, gf, specClass, false)
+		case pick < 70:
+			g.stmtLoop(r, b, gf, specClass)
+		case pick < 85:
+			g.stmtClosure(r, b, &closures)
+		default:
+			g.stmtIf(r, b)
+		}
+	}
+	// Apply an incoming closure argument, when the signature has one.
+	for i, k := range gf.Params {
+		if k == pClo {
+			b.Stmts = append(b.Stmts, accAdd(call(fmt.Sprintf("gp%d", i), modExpr(ident("gacc"), 5))))
+		}
+	}
+	b.Stmts = append(b.Stmts, &lang.ExprStmt{X: ident("gacc")})
+	return b
+}
+
+// stmtFieldOp reads or writes an integer field of a dispatched param —
+// the shapes (field-read ⊕ k, field := field ⊕ k) the bytecode tier
+// fuses into fieldbin/fieldbink/binfield superinstructions.
+func (g *Program) stmtFieldOp(r *rng, b *lang.Block, gf *genGF, specClass int) {
+	fields := g.fieldsOf(specClass)
+	f := fields[r.intn(len(fields))]
+	p := ident(fmt.Sprintf("gp%d", r.intn(gf.Disp)))
+	fa := &lang.FieldAccess{Recv: p, Name: f}
+	if r.pct(50) {
+		// gacc := gacc + (gp.f + k);
+		b.Stmts = append(b.Stmts, accAdd(bin(lang.PLUS, fa, intL(int64(1+r.intn(7))))))
+	} else {
+		// gp.f := gp.f % 997 + k; gacc := gacc + gp.f;
+		b.Stmts = append(b.Stmts, &lang.AssignStmt{
+			LHS: fa,
+			RHS: bin(lang.PLUS, modExpr(fa, 997), intL(int64(1+r.intn(7)))),
+		})
+		b.Stmts = append(b.Stmts, accAdd(fa))
+	}
+}
+
+// stmtCall invokes a strictly-lower-rank GF; leafOnly restricts to
+// rank-0 callees (used inside loops so iteration never multiplies a
+// deep call chain).
+func (g *Program) stmtCall(r *rng, b *lang.Block, gf *genGF, specClass int, leafOnly bool) {
+	callee := g.pickCallee(r, gf.Rank, leafOnly)
+	if callee == nil {
+		// No callee available at this rank: degrade to arithmetic.
+		b.Stmts = append(b.Stmts, accAdd(intL(int64(1+r.intn(9)))))
+		return
+	}
+	b.Stmts = append(b.Stmts, accAdd(g.callExpr(r, callee, gf, specClass)))
+}
+
+// pickCallee selects a GF with rank < rank (rank 0 when leafOnly), or
+// nil when none exists yet.
+func (g *Program) pickCallee(r *rng, rank int, leafOnly bool) *genGF {
+	// leafOnly tightens the bound but never loosens it: the callee rank
+	// must stay strictly below the caller's, so the call graph is acyclic
+	// even among leaves (a rank-0 caller gets no callee at all).
+	limit := rank
+	if leafOnly && limit > 1 {
+		limit = 1
+	}
+	// Deterministic bounded scan from a random start.
+	if len(g.GFs) == 0 || limit == 0 {
+		return nil
+	}
+	start := r.intn(len(g.GFs))
+	for k := 0; k < len(g.GFs) && k < 64; k++ {
+		cand := g.GFs[(start+k)%len(g.GFs)]
+		if cand.Rank < limit {
+			return cand
+		}
+	}
+	return nil
+}
+
+// callExpr builds a call to callee with arguments synthesized from the
+// caller's context: dispatched positions receive the caller's own
+// object params (polymorphic flow) or fresh instances; int positions
+// receive damped arithmetic; closure positions receive literals.
+func (g *Program) callExpr(r *rng, callee, caller *genGF, specClass int) lang.Expr {
+	var args []lang.Expr
+	for _, k := range callee.Params {
+		switch k {
+		case pObj:
+			switch {
+			case caller != nil && caller.Disp > 0 && r.pct(70):
+				args = append(args, ident(fmt.Sprintf("gp%d", r.intn(caller.Disp))))
+			case r.pct(85):
+				cls := callee.Ladder[r.intn(len(callee.Ladder))]
+				args = append(args, &lang.NewExpr{Class: g.Classes[cls].Name})
+			default:
+				// An integer at a dispatched position: binds the all-Any
+				// fallback, exercising the non-class cone paths.
+				args = append(args, intL(int64(r.intn(50))))
+			}
+		case pInt:
+			if r.pct(50) {
+				args = append(args, modExpr(ident("gacc"), 13))
+			} else {
+				args = append(args, intL(int64(r.intn(20))))
+			}
+		case pClo:
+			args = append(args, g.closureLit(r))
+		}
+	}
+	return call(callee.Name, args...)
+}
+
+// closureLit builds a one-argument integer closure; a tenth of them
+// carry a rarely-taken non-local return.
+func (g *Program) closureLit(r *rng) lang.Expr {
+	body := &lang.Block{}
+	if r.pct(10) {
+		body.Stmts = append(body.Stmts, &lang.IfStmt{
+			Cond: bin(lang.GT, ident("gz"), intL(int64(5000+r.intn(5000)))),
+			Then: &lang.Block{Stmts: []lang.Stmt{&lang.ReturnStmt{X: intL(int64(r.intn(9)))}}},
+		})
+	}
+	body.Stmts = append(body.Stmts, &lang.ExprStmt{
+		X: bin(lang.PLUS, ident("gz"), intL(int64(1+r.intn(9)))),
+	})
+	return &lang.FnExpr{Params: []string{"gz"}, Body: body}
+}
+
+// stmtLoop emits a constant-bounded while accumulating arithmetic; a
+// third of loops also call a rank-0 leaf GF per iteration.
+func (g *Program) stmtLoop(r *rng, b *lang.Block, gf *genGF, specClass int) {
+	iv := fmt.Sprintf("gi%d", len(b.Stmts))
+	bound := 2 + r.intn(3)
+	loop := &lang.Block{}
+	loop.Stmts = append(loop.Stmts, accAdd(bin(lang.STAR, ident(iv), intL(int64(1+r.intn(5))))))
+	if r.pct(33) {
+		if callee := g.pickCallee(r, gf.Rank, true); callee != nil {
+			loop.Stmts = append(loop.Stmts, accAdd(g.callExpr(r, callee, gf, specClass)))
+		}
+	}
+	loop.Stmts = append(loop.Stmts, &lang.AssignStmt{LHS: ident(iv), RHS: bin(lang.PLUS, ident(iv), intL(1))})
+	b.Stmts = append(b.Stmts, varDecl(iv, intL(0)))
+	b.Stmts = append(b.Stmts, &lang.WhileStmt{Cond: bin(lang.LT, ident(iv), intL(int64(bound))), Body: loop})
+}
+
+// stmtClosure declares a local closure and applies it twice.
+func (g *Program) stmtClosure(r *rng, b *lang.Block, closures *int) {
+	cv := fmt.Sprintf("gc%d", *closures)
+	*closures++
+	b.Stmts = append(b.Stmts, varDecl(cv, g.closureLit(r)))
+	b.Stmts = append(b.Stmts, accAdd(call(cv, modExpr(ident("gacc"), 7))))
+	b.Stmts = append(b.Stmts, accAdd(call(cv, intL(int64(r.intn(30))))))
+}
+
+// stmtIf emits a parity-conditional update of the accumulator.
+func (g *Program) stmtIf(r *rng, b *lang.Block) {
+	b.Stmts = append(b.Stmts, &lang.IfStmt{
+		Cond: bin(lang.EQ, modExpr(ident("gacc"), 2), intL(0)),
+		Then: &lang.Block{Stmts: []lang.Stmt{accAdd(intL(int64(1 + r.intn(5))))}},
+		Else: &lang.Block{Stmts: []lang.Stmt{
+			&lang.AssignStmt{LHS: ident("gacc"), RHS: bin(lang.PLUS, modExpr(ident("gacc"), 97), intL(3))},
+		}},
+	})
+}
+
+// ---------------------------------------------------------------------
+// Driver: waves + main
+// ---------------------------------------------------------------------
+
+// waveSize caps the sends per driver-wave method, keeping any one
+// method body small regardless of how many GFs main exercises.
+const waveSize = 12
+
+// driverMethods emits the polymorphic driver: wave methods, each
+// sending a chunk of the called GFs to one rotated object, and main,
+// which instantiates the driver classes into an array and rotates every
+// object through every wave genReps times.
+func (g *Program) driverMethods(r *rng) []*lang.MethodDecl {
+	driverClasses, called := g.driverPlan(r)
+	g.Stats.Drivers = len(driverClasses)
+	g.Stats.CalledGFs = len(called)
+
+	var out []*lang.MethodDecl
+	var waves []string
+	for start := 0; start < len(called); start += waveSize {
+		end := min(start+waveSize, len(called))
+		name := fmt.Sprintf("gwave%d", len(waves))
+		waves = append(waves, name)
+		wb := &lang.Block{}
+		wb.Stmts = append(wb.Stmts, varDecl("gacc", intL(0)))
+		for _, gf := range called[start:end] {
+			wb.Stmts = append(wb.Stmts, accAdd(g.waveCall(r, gf)))
+		}
+		wb.Stmts = append(wb.Stmts, &lang.ExprStmt{X: modExpr(ident("gacc"), 99991)})
+		out = append(out, &lang.MethodDecl{
+			Name:   name,
+			Params: []lang.Param{{Name: "gw"}},
+			Body:   wb,
+		})
+	}
+
+	mb := &lang.Block{}
+	mb.Stmts = append(mb.Stmts, varDecl("gacc", intL(0)))
+	mb.Stmts = append(mb.Stmts, varDecl("gobjs", call("newarray", intL(int64(len(driverClasses))))))
+	for i, cls := range driverClasses {
+		mb.Stmts = append(mb.Stmts, &lang.ExprStmt{
+			X: call("aput", ident("gobjs"), intL(int64(i)), &lang.NewExpr{Class: g.Classes[cls].Name}),
+		})
+	}
+	inner := &lang.Block{}
+	inner.Stmts = append(inner.Stmts, varDecl("gx", call("aget", ident("gobjs"), ident("gi"))))
+	for _, w := range waves {
+		inner.Stmts = append(inner.Stmts, accAdd(call(w, ident("gx"))))
+	}
+	inner.Stmts = append(inner.Stmts, &lang.AssignStmt{LHS: ident("gacc"), RHS: modExpr(ident("gacc"), 999983)})
+	inner.Stmts = append(inner.Stmts, &lang.AssignStmt{LHS: ident("gi"), RHS: bin(lang.PLUS, ident("gi"), intL(1))})
+
+	rotation := &lang.Block{}
+	rotation.Stmts = append(rotation.Stmts, varDecl("gi", intL(0)))
+	rotation.Stmts = append(rotation.Stmts, &lang.WhileStmt{
+		Cond: bin(lang.LT, ident("gi"), intL(int64(len(driverClasses)))),
+		Body: inner,
+	})
+	rotation.Stmts = append(rotation.Stmts, &lang.AssignStmt{LHS: ident("gr"), RHS: bin(lang.PLUS, ident("gr"), intL(1))})
+
+	mb.Stmts = append(mb.Stmts, varDecl("gr", intL(0)))
+	mb.Stmts = append(mb.Stmts, &lang.WhileStmt{
+		Cond: bin(lang.LT, ident("gr"), ident("genReps")),
+		Body: rotation,
+	})
+	mb.Stmts = append(mb.Stmts, &lang.ExprStmt{X: call("println", call("str", ident("gacc")))})
+	mb.Stmts = append(mb.Stmts, &lang.ExprStmt{X: ident("gacc")})
+	out = append(out, &lang.MethodDecl{Name: "main", Body: mb})
+	return out
+}
+
+// driverPlan picks which classes main instantiates and which GFs the
+// waves call. CheckClean covers every GF and every specializer class,
+// so no method can be dead and no specialization useless; otherwise
+// both sets are capped samples.
+func (g *Program) driverPlan(r *rng) (driverClasses []int, called []*genGF) {
+	seen := make([]bool, len(g.Classes))
+	addClass := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			driverClasses = append(driverClasses, i)
+		}
+	}
+	if g.Cfg.CheckClean {
+		called = g.GFs
+		for _, gf := range g.GFs {
+			for _, cls := range gf.Ladder {
+				addClass(cls)
+			}
+		}
+	} else {
+		n := min(g.Cfg.CalledGFs, len(g.GFs))
+		for _, i := range pickDistinct(r, len(g.GFs), n) {
+			called = append(called, g.GFs[i])
+		}
+		for _, gf := range called {
+			for _, cls := range gf.Ladder {
+				addClass(cls)
+				if len(driverClasses) >= g.Cfg.Drivers {
+					break
+				}
+			}
+			if len(driverClasses) >= g.Cfg.Drivers {
+				break
+			}
+		}
+		// A few extra deep classes make mid-ladder bindings richer.
+		for k := 0; k < 4 && len(driverClasses) < g.Cfg.Drivers; k++ {
+			addClass(r.intn(len(g.Classes)))
+		}
+	}
+	if len(driverClasses) == 0 {
+		addClass(len(g.Classes) - 1)
+	}
+	return driverClasses, called
+}
+
+// waveCall builds one wave send: the rotated object gw at every
+// dispatched position, synthesized int/closure extras.
+func (g *Program) waveCall(r *rng, gf *genGF) lang.Expr {
+	var args []lang.Expr
+	for _, k := range gf.Params {
+		switch k {
+		case pObj:
+			args = append(args, ident("gw"))
+		case pInt:
+			args = append(args, intL(int64(r.intn(25))))
+		case pClo:
+			args = append(args, g.closureLit(r))
+		}
+	}
+	return call(gf.Name, args...)
+}
+
+// ---------------------------------------------------------------------
+// Small AST constructors
+// ---------------------------------------------------------------------
+
+func ident(n string) *lang.Ident { return &lang.Ident{Name: n} }
+func intL(v int64) *lang.IntLit  { return &lang.IntLit{Val: v} }
+func bin(op lang.Kind, l, r lang.Expr) lang.Expr {
+	return &lang.BinaryExpr{Op: op, L: l, R: r}
+}
+func call(name string, args ...lang.Expr) *lang.Call {
+	return &lang.Call{Name: name, Args: args}
+}
+func varDecl(n string, init lang.Expr) *lang.VarStmt {
+	return &lang.VarStmt{Name: n, Init: init}
+}
+
+// accAdd is `gacc := gacc + expr;`.
+func accAdd(e lang.Expr) *lang.AssignStmt {
+	return &lang.AssignStmt{LHS: ident("gacc"), RHS: bin(lang.PLUS, ident("gacc"), e)}
+}
+
+// modExpr is `(e % k)` with a positive constant divisor — the only
+// form of division the generator emits, so division faults are
+// impossible by construction.
+func modExpr(e lang.Expr, k int64) lang.Expr {
+	return bin(lang.PERCENT, e, intL(k))
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+// Metamorphic mutators: source-to-source transformations that must not
+// change a program's observable behavior. Each returns the mutated
+// source (via parse → edit → print, so the output is exactly what the
+// printer produces) together with a description for failure reports.
+
+package gen
+
+import (
+	"fmt"
+
+	"selspec/internal/lang"
+)
+
+// Mutation is one semantics-preserving program edit.
+type Mutation struct {
+	Name   string
+	Source string
+}
+
+// AddUnrelatedSubclass appends a fresh leaf class under the picked
+// existing class (round-robin by pick) that no send ever names and no
+// method specializes on. Dispatch must be oblivious to it: every
+// existing lookup result, and therefore every observable, is unchanged.
+func AddUnrelatedSubclass(src string, pick int) (Mutation, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return Mutation{}, fmt.Errorf("mutate parse: %w", err)
+	}
+	if len(prog.Classes) == 0 {
+		return Mutation{}, fmt.Errorf("mutate: no classes to subclass")
+	}
+	parent := prog.Classes[pick%len(prog.Classes)].Name
+	name := fmt.Sprintf("GMutant%d", pick)
+	prog.Classes = append(prog.Classes, &lang.ClassDecl{
+		Name:    name,
+		Parents: []string{parent},
+	})
+	return Mutation{
+		Name:   fmt.Sprintf("unrelated-subclass %s isa %s", name, parent),
+		Source: lang.Format(prog),
+	}, nil
+}
+
+// InjectDeadMethod adds a method to the picked generic function,
+// specialized on a fresh never-instantiated class, so it can never be
+// invoked. Method lookup for every reachable tuple is unchanged (the
+// new specializer's cone contains only the new class), so observables
+// must be identical.
+func InjectDeadMethod(src string, pick int) (Mutation, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return Mutation{}, fmt.Errorf("mutate parse: %w", err)
+	}
+	// Find a dispatched method to clone the shape of: same name and
+	// arity keeps the GF well-formed; the fresh specializer class makes
+	// the copy unreachable.
+	var donor *lang.MethodDecl
+	n := 0
+	for _, m := range prog.Methods {
+		if m.Name == "main" {
+			continue
+		}
+		for _, p := range m.Params {
+			if p.Spec != "" {
+				if n == pick%countDispatched(prog) {
+					donor = m
+				}
+				n++
+				break
+			}
+		}
+		if donor != nil {
+			break
+		}
+	}
+	if donor == nil {
+		return Mutation{}, fmt.Errorf("mutate: no dispatched method to shadow")
+	}
+	cls := fmt.Sprintf("GDeadSpec%d", pick)
+	prog.Classes = append(prog.Classes, &lang.ClassDecl{Name: cls})
+	params := make([]lang.Param, len(donor.Params))
+	first := true
+	for i, p := range donor.Params {
+		params[i] = lang.Param{Name: p.Name}
+		if p.Spec != "" && first {
+			params[i].Spec = cls // one fresh-specialized position suffices
+			first = false
+		}
+	}
+	prog.Methods = append(prog.Methods, &lang.MethodDecl{
+		Name:   donor.Name,
+		Params: params,
+		Body: &lang.Block{Stmts: []lang.Stmt{
+			&lang.ReturnStmt{X: &lang.IntLit{Val: 0}},
+		}},
+	})
+	return Mutation{
+		Name:   fmt.Sprintf("dead-method %s on fresh %s", donor.Name, cls),
+		Source: lang.Format(prog),
+	}, nil
+}
+
+func countDispatched(prog *lang.Program) int {
+	n := 0
+	for _, m := range prog.Methods {
+		if m.Name == "main" {
+			continue
+		}
+		for _, p := range m.Params {
+			if p.Spec != "" {
+				n++
+				break
+			}
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"selspec/internal/driver"
+	"selspec/internal/opt"
+	"selspec/internal/programs"
+)
+
+// metamorphicCompare runs the original and mutated program under every
+// configuration and requires identical semantic observables. Under Base
+// the dispatch counters must match exactly too: the mutations touch
+// classes no send ever sees, so even the dynamic dispatch mix is
+// unchanged. (CHA/Selective counters may legitimately shift — class
+// analysis sees the new class — so only semantics are compared there.)
+func metamorphicCompare(t *testing.T, orig programs.Benchmark, mut Mutation) {
+	t.Helper()
+	mb := programs.Benchmark{Name: orig.Name + "+mut", Source: mut.Source, Train: orig.Train, Test: orig.Test}
+	for _, cfg := range opt.Configs() {
+		o, err := Observe(orig, cfg, driver.EngineTree, gridGuards)
+		if err != nil {
+			t.Fatalf("%s under %v: %v", mut.Name, cfg, err)
+		}
+		m, err := Observe(mb, cfg, driver.EngineTree, gridGuards)
+		if err != nil {
+			t.Fatalf("%s under %v: %v", mut.Name, cfg, err)
+		}
+		if o.Value != m.Value || o.Output != m.Output || o.ErrText != m.ErrText {
+			t.Errorf("%s under %v changed semantics:\n  orig: value=%q err=%q\n  mut:  value=%q err=%q",
+				mut.Name, cfg, o.Value, o.ErrText, m.Value, m.ErrText)
+		}
+		if cfg == opt.Base && (o.Counters != m.Counters || o.Steps != m.Steps) {
+			t.Errorf("%s under Base changed counters/steps:\n  orig: %+v steps=%d\n  mut:  %+v steps=%d",
+				mut.Name, o.Counters, o.Steps, m.Counters, m.Steps)
+		}
+	}
+}
+
+// TestMetamorphicUnrelatedSubclass: inserting a subclass that nothing
+// references leaves every observable unchanged.
+func TestMetamorphicUnrelatedSubclass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic suite skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			b := New(Config{Seed: seed, Classes: 25, Methods: 100}).Benchmark()
+			for pick := 0; pick < 3; pick++ {
+				mut, err := AddUnrelatedSubclass(b.Source, pick*7+int(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				metamorphicCompare(t, b, mut)
+			}
+		})
+	}
+}
+
+// TestMetamorphicDeadMethod: adding a method specialized on a fresh
+// never-instantiated class cannot change any dispatch outcome.
+func TestMetamorphicDeadMethod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic suite skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			b := New(Config{Seed: seed, Classes: 25, Methods: 100}).Benchmark()
+			for pick := 0; pick < 3; pick++ {
+				mut, err := InjectDeadMethod(b.Source, pick*5+int(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				metamorphicCompare(t, b, mut)
+			}
+		})
+	}
+}

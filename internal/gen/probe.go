@@ -1,0 +1,164 @@
+// Scale probe: build the hierarchy for a generated program and measure
+// the structures the paper's machinery must scale with — the
+// ApplicableClasses closure over every method and the pole-compressed
+// multi-method dispatch tables — reporting compressed vs uncompressed
+// table size against the Gawrychowski-style yardstick (a class-indexed
+// n-ary table is |C|^n entries; pole compression should stay within a
+// small multiple of methods×arity).
+
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"selspec/internal/dispatch"
+	"selspec/internal/hier"
+	"selspec/internal/lang"
+)
+
+// ProbeReport aggregates scale measurements for one generated program.
+type ProbeReport struct {
+	Stats Stats `json:"stats"`
+
+	SourceBytes int `json:"source_bytes"`
+
+	ParseMS     float64 `json:"parse_ms"`
+	HierBuildMS float64 `json:"hier_build_ms"`
+
+	// ApplicableClasses over every method of every GF.
+	ApplicableMethods int     `json:"applicable_methods"`
+	ApplicableMS      float64 `json:"applicable_ms"`
+	ApplicableUSPer   float64 `json:"applicable_us_per_method"`
+
+	// Dispatch tables, built for the ProbeGFs largest multi-dispatch GFs
+	// (all of them when ProbeGFs <= 0).
+	TabledGFs        int     `json:"tabled_gfs"`
+	TableBuildMS     float64 `json:"table_build_ms"`
+	TableEntries     int     `json:"table_entries"`
+	UncompressedLogE float64 `json:"uncompressed_entries_log10"` // sum over GFs, log10
+	CompressionX     float64 `json:"compression_factor"`         // uncompressed / compressed (capped)
+	MaxTableEntries  int     `json:"max_table_entries"`
+
+	// Yardstick: entries per method across the tabled GFs. Gawrychowski
+	// et al. show binary dispatch needs structures near-linear in the
+	// number of methods; a pole table far above methods×arity signals a
+	// compression regression.
+	EntriesPerMethod float64 `json:"entries_per_method"`
+}
+
+// ProbeGFs bounds how many multi-dispatch GFs get full table builds in
+// Probe; building every n-ary table at 10k classes would dominate the
+// probe without adding information.
+const ProbeGFs = 64
+
+// Probe generates the program for cfg and measures hierarchy and
+// dispatch-table scale. It is read-only over the pipeline front end: no
+// execution happens.
+func Probe(cfg Config) (*ProbeReport, error) {
+	g := New(cfg)
+	src := g.Source()
+	rep := &ProbeReport{Stats: g.Stats, SourceBytes: len(src)}
+
+	t0 := time.Now()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	rep.ParseMS = msSince(t0)
+
+	t0 = time.Now()
+	h, err := hier.Build(prog)
+	if err != nil {
+		return nil, fmt.Errorf("hier build: %w", err)
+	}
+	h.Freeze()
+	rep.HierBuildMS = msSince(t0)
+
+	t0 = time.Now()
+	for _, gf := range h.GFs() {
+		for _, m := range gf.Methods {
+			h.ApplicableClasses(m)
+			rep.ApplicableMethods++
+		}
+	}
+	rep.ApplicableMS = msSince(t0)
+	if rep.ApplicableMethods > 0 {
+		rep.ApplicableUSPer = rep.ApplicableMS * 1000 / float64(rep.ApplicableMethods)
+	}
+
+	// Rank multi-dispatch GFs by method count and table the top slice.
+	var multi []*hier.GF
+	for _, gf := range h.GFs() {
+		if len(gf.DispatchedPositions()) >= 1 && len(gf.Methods) > 1 {
+			multi = append(multi, gf)
+		}
+	}
+	sort.Slice(multi, func(i, j int) bool {
+		if len(multi[i].Methods) != len(multi[j].Methods) {
+			return len(multi[i].Methods) > len(multi[j].Methods)
+		}
+		return multi[i].Name < multi[j].Name
+	})
+	if ProbeGFs > 0 && len(multi) > ProbeGFs {
+		multi = multi[:ProbeGFs]
+	}
+
+	t0 = time.Now()
+	methods := 0
+	var unc float64
+	for _, gf := range multi {
+		tbl, err := dispatch.NewMMTable(h, gf)
+		if err != nil {
+			return nil, fmt.Errorf("mm table %s: %w", gf.Key(), err)
+		}
+		rep.TabledGFs++
+		methods += len(gf.Methods)
+		sz := tbl.Size()
+		rep.TableEntries += sz
+		if sz > rep.MaxTableEntries {
+			rep.MaxTableEntries = sz
+		}
+		u := tbl.UncompressedSize(h)
+		rep.UncompressedLogE += log10int(u)
+		unc += float64(u)
+	}
+	rep.TableBuildMS = msSince(t0)
+	if rep.TableEntries > 0 {
+		rep.CompressionX = unc / float64(rep.TableEntries)
+	}
+	if methods > 0 {
+		rep.EntriesPerMethod = float64(rep.TableEntries) / float64(methods)
+	}
+	return rep, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+func log10int(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	d := 0.0
+	f := float64(n)
+	for f >= 10 {
+		f /= 10
+		d++
+	}
+	// One digit of mantissa precision is plenty for a scale report.
+	return d + (f-1)/9
+}
+
+// String renders the report for terminal output.
+func (r *ProbeReport) String() string {
+	return fmt.Sprintf(
+		"classes=%d methods=%d gfs=%d depth=%d mi=%d source=%dB\n"+
+			"parse=%.1fms hier=%.1fms\n"+
+			"applicable: %d methods in %.1fms (%.2fus/method)\n"+
+			"mm-tables: %d gfs, %d entries (max %d) in %.1fms, compression=%.1fx, entries/method=%.2f",
+		r.Stats.Classes, r.Stats.Methods, r.Stats.GFs, r.Stats.MaxDepth, r.Stats.MIClasses, r.SourceBytes,
+		r.ParseMS, r.HierBuildMS,
+		r.ApplicableMethods, r.ApplicableMS, r.ApplicableUSPer,
+		r.TabledGFs, r.TableEntries, r.MaxTableEntries, r.TableBuildMS, r.CompressionX, r.EntriesPerMethod)
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"selspec/internal/check"
+	"selspec/internal/driver"
+	"selspec/internal/opt"
+	"selspec/internal/pipeline"
+)
+
+// TestProbe exercises the scale probe at a size small enough for the
+// regular suite and sanity-checks the report invariants.
+func TestProbe(t *testing.T) {
+	t.Parallel()
+	rep, err := Probe(Config{Seed: 9, Classes: 200, Methods: 800, Depth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ApplicableMethods < 800 {
+		t.Errorf("applicable ran over %d methods, want >= 800", rep.ApplicableMethods)
+	}
+	if rep.TabledGFs == 0 || rep.TableEntries == 0 {
+		t.Errorf("no dispatch tables measured: %+v", rep)
+	}
+	if rep.CompressionX < 1 {
+		t.Errorf("pole compression expanded the table: %.2fx", rep.CompressionX)
+	}
+	if rep.Stats.Classes != 200 {
+		t.Errorf("stats: %+v", rep.Stats)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestMegaScale is the acceptance drill for the 10k-class/100k-method
+// target: generation, parse, check, hierarchy probe, and the full
+// pipeline — specialize, VM compile, bytecode verify, run — must all
+// complete inside the interpreter resource guards at 10k classes.
+// Running BOTH engines at that size roughly doubles the dominant
+// compile cost, so the byte-level tree-vs-VM differential runs at
+// 2k-class scale here (and at grid scale, under -race, in
+// TestDifferentialGrid). The drill takes minutes, so it only runs when
+// SELSPEC_GEN_SCALE=1 (the CI gen-stress job sets it).
+func TestMegaScale(t *testing.T) {
+	if os.Getenv("SELSPEC_GEN_SCALE") == "" {
+		t.Skip("set SELSPEC_GEN_SCALE=1 to run the 10k-class scale drill")
+	}
+	cfg := Config{Seed: 1002, Classes: 10_000, Methods: 100_000, Depth: 48}
+
+	t0 := time.Now()
+	rep, err := Probe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("probe (%v):\n%s", time.Since(t0), rep)
+	if rep.Stats.Classes != 10_000 || rep.Stats.Methods < 100_000 {
+		t.Fatalf("scale not reached: %+v", rep.Stats)
+	}
+	if rep.Stats.MaxDepth < 32 {
+		t.Fatalf("depth %d < 32", rep.Stats.MaxDepth)
+	}
+
+	// Tree-vs-VM byte-identical observables under Selective at 2k
+	// classes (two full pipelines).
+	mid := New(Config{Seed: 1002, Classes: 2_000, Methods: 8_000, Depth: 48})
+	t0 = time.Now()
+	if err := CompareEngines(mid.Benchmark(), opt.Selective, DefaultGuards); err != nil {
+		t.Errorf("%v", err)
+	}
+	t.Logf("differential Selective tree-vs-vm at 2k classes: %v", time.Since(t0))
+
+	// The static analyzer must get through the 10k program without an
+	// internal error (findings are fine: this config does not ask for
+	// check-clean output, so dead methods are expected).
+	g := New(cfg)
+	t0 = time.Now()
+	ds, err := pipeline.CheckSource(g.Name(), g.Source(), check.Options{})
+	if err != nil {
+		t.Fatalf("check at 10k classes: %v", err)
+	}
+	t.Logf("check at 10k classes: %v, %d findings", time.Since(t0), len(ds))
+
+	// The 10k acceptance pipeline: train, specialize, VM compile,
+	// bytecode verify (Observe always verifies), run.
+	t0 = time.Now()
+	o, err := Observe(g.Benchmark(), opt.Selective, driver.EngineVM, DefaultGuards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ErrText != "" {
+		t.Fatalf("mega program failed at runtime: %s", o.ErrText)
+	}
+	t.Logf("Selective vm pipeline at 10k classes: %v, %d steps", time.Since(t0), o.Steps)
+}

@@ -1,0 +1,190 @@
+// Greedy AST shrinker for divergence minimization. Given a failing
+// source program and a predicate that reproduces the failure, Shrink
+// repeatedly deletes program elements — methods, classes (with their
+// methods and references), statements, globals — keeping each deletion
+// only when the shrunk program still parses, prints, and reproduces the
+// failure. The result is a local minimum: no single remaining deletion
+// keeps the failure alive. Minimized cases are small enough to read and
+// to commit as fuzz corpus seeds.
+
+package gen
+
+import (
+	"strings"
+
+	"selspec/internal/lang"
+)
+
+// ShrinkResult reports what the shrinker did.
+type ShrinkResult struct {
+	Source     string // minimized source (still failing)
+	Passes     int    // full fixed-point passes over the deletion menu
+	Deleted    int    // elements removed in total
+	Candidates int    // deletion attempts made
+}
+
+// MaxShrinkAttempts bounds the total number of predicate evaluations so
+// a pathological predicate cannot stall the harness.
+const MaxShrinkAttempts = 20000
+
+// Shrink minimizes src with respect to fails. fails must return true on
+// src itself (otherwise Shrink returns src unchanged with zero work
+// recorded). The predicate receives full source text; it is free to
+// parse, run, or diff it. Shrinking is purely syntactic: every
+// intermediate candidate is validated by re-parsing before fails sees
+// it, so the predicate only ever observes well-formed programs.
+func Shrink(src string, fails func(src string) bool) ShrinkResult {
+	res := ShrinkResult{Source: src}
+	prog, err := lang.Parse(src)
+	if err != nil || !fails(src) {
+		return res
+	}
+	cur := prog
+	for {
+		res.Passes++
+		deleted := 0
+		deleted += shrinkMethods(&cur, fails, &res)
+		deleted += shrinkClasses(&cur, fails, &res)
+		deleted += shrinkStmts(&cur, fails, &res)
+		deleted += shrinkGlobals(&cur, fails, &res)
+		res.Deleted += deleted
+		if deleted == 0 || res.Candidates >= MaxShrinkAttempts {
+			break
+		}
+	}
+	res.Source = lang.Format(cur)
+	return res
+}
+
+// try re-renders the candidate program; if it parses and still fails,
+// it becomes the new current program. Reparsing rather than mutating in
+// place keeps every accepted state printable and well formed.
+func try(cur **lang.Program, cand *lang.Program, fails func(string) bool, res *ShrinkResult) bool {
+	if res.Candidates >= MaxShrinkAttempts {
+		return false
+	}
+	res.Candidates++
+	src := lang.Format(cand)
+	rp, err := lang.Parse(src)
+	if err != nil || !fails(src) {
+		return false
+	}
+	*cur = rp
+	return true
+}
+
+func shrinkMethods(cur **lang.Program, fails func(string) bool, res *ShrinkResult) int {
+	deleted := 0
+	i := 0
+	for i < len((*cur).Methods) {
+		m := (*cur).Methods[i]
+		if m.Name == "main" && !hasDispatched(m) {
+			i++ // never delete the entry point
+			continue
+		}
+		cand := clone(*cur)
+		cand.Methods = append(cand.Methods[:i:i], cand.Methods[i+1:]...)
+		if try(cur, cand, fails, res) {
+			deleted++
+			continue // same index now holds the next method
+		}
+		i++
+	}
+	return deleted
+}
+
+func hasDispatched(m *lang.MethodDecl) bool {
+	for _, p := range m.Params {
+		if p.Spec != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func shrinkClasses(cur **lang.Program, fails func(string) bool, res *ShrinkResult) int {
+	deleted := 0
+	i := 0
+	for i < len((*cur).Classes) {
+		name := (*cur).Classes[i].Name
+		cand := clone(*cur)
+		cand.Classes = append(cand.Classes[:i:i], cand.Classes[i+1:]...)
+		// Also drop methods specialized on the deleted class; parents and
+		// body references to it would fail the re-parse/load predicate, so
+		// those candidates simply don't stick.
+		kept := cand.Methods[:0]
+		for _, m := range cand.Methods {
+			if !mentionsClass(m, name) {
+				kept = append(kept, m)
+			}
+		}
+		cand.Methods = kept
+		if try(cur, cand, fails, res) {
+			deleted++
+			continue
+		}
+		i++
+	}
+	return deleted
+}
+
+func mentionsClass(m *lang.MethodDecl, class string) bool {
+	for _, p := range m.Params {
+		if p.Spec == class {
+			return true
+		}
+	}
+	// Coarse but safe: a textual mention anywhere in the printed method
+	// (new expressions, nested uses) keeps the method tied to the class.
+	one := lang.Program{Methods: []*lang.MethodDecl{m}}
+	return strings.Contains(lang.Format(&one), class)
+}
+
+func shrinkStmts(cur **lang.Program, fails func(string) bool, res *ShrinkResult) int {
+	deleted := 0
+	for mi := 0; mi < len((*cur).Methods); mi++ {
+		si := 0
+		for {
+			m := (*cur).Methods[mi]
+			if si >= len(m.Body.Stmts) || len(m.Body.Stmts) <= 1 {
+				break
+			}
+			cand := clone(*cur)
+			cm := *cand.Methods[mi] // copy the node; never scribble on the shared decl
+			cm.Body = &lang.Block{Stmts: append(cm.Body.Stmts[:si:si], cm.Body.Stmts[si+1:]...)}
+			cand.Methods[mi] = &cm
+			if try(cur, cand, fails, res) {
+				deleted++
+				continue
+			}
+			si++
+		}
+	}
+	return deleted
+}
+
+func shrinkGlobals(cur **lang.Program, fails func(string) bool, res *ShrinkResult) int {
+	deleted := 0
+	i := 0
+	for i < len((*cur).Globals) {
+		cand := clone(*cur)
+		cand.Globals = append(cand.Globals[:i:i], cand.Globals[i+1:]...)
+		if try(cur, cand, fails, res) {
+			deleted++
+			continue
+		}
+		i++
+	}
+	return deleted
+}
+
+// clone copies the top-level slices (and per-method body pointers stay
+// shared — deletions use three-index append so shared arrays are never
+// scribbled on, and accepted candidates are re-parsed anyway).
+func clone(p *lang.Program) *lang.Program {
+	return &lang.Program{
+		Classes: append([]*lang.ClassDecl(nil), p.Classes...),
+		Methods: append([]*lang.MethodDecl(nil), p.Methods...),
+		Globals: append([]*lang.GlobalDecl(nil), p.Globals...),
+	}
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selspec/internal/driver"
+	"selspec/internal/lang"
+	"selspec/internal/opt"
+	"selspec/internal/programs"
+)
+
+// TestShrinkDrill: inject a synthetic "failure" (presence of a marker
+// generic function in the source) and verify the shrinker drives the
+// program down to a small local minimum that still reproduces it, while
+// every candidate it accepted stayed parseable.
+func TestShrinkDrill(t *testing.T) {
+	t.Parallel()
+	g := New(Config{Seed: 11, Classes: 30, Methods: 120})
+	src := g.Source()
+	marker := g.GFs[len(g.GFs)/2].Name + "("
+	fails := func(s string) bool { return strings.Contains(s, marker) }
+
+	res := Shrink(src, fails)
+	if !fails(res.Source) {
+		t.Fatal("shrunk program no longer reproduces the failure")
+	}
+	if _, err := lang.Parse(res.Source); err != nil {
+		t.Fatalf("shrunk program does not parse: %v", err)
+	}
+	if res.Deleted == 0 {
+		t.Fatal("shrinker deleted nothing")
+	}
+	if len(res.Source) >= len(src) {
+		t.Fatalf("shrunk source (%d bytes) not smaller than input (%d bytes)", len(res.Source), len(src))
+	}
+	// Local minimum sanity: the marker GF's methods must survive, and
+	// the shrunk program should be a small fraction of the original.
+	if len(res.Source) > len(src)/2 {
+		t.Errorf("weak shrink: %d -> %d bytes", len(src), len(res.Source))
+	}
+}
+
+// TestShrinkNonFailing: a predicate that never fires returns the input
+// untouched with zero deletions.
+func TestShrinkNonFailing(t *testing.T) {
+	t.Parallel()
+	src := New(Config{Seed: 12, Classes: 20, Methods: 60}).Source()
+	res := Shrink(src, func(string) bool { return false })
+	if res.Source != src || res.Deleted != 0 || res.Passes != 0 {
+		t.Fatalf("non-failing input was modified: %+v", res)
+	}
+}
+
+// TestShrunkRegressions replays every committed shrinker-minimized
+// divergence under the full differential harness: tree and VM must now
+// agree on all configurations. Each fixture is the minimized form of a
+// real tree-vs-VM divergence the generator found (see the fixture name
+// for the defect), so this is the regression net for fixed VM bugs.
+func TestShrunkRegressions(t *testing.T) {
+	t.Parallel()
+	files, err := filepath.Glob("testdata/shrunk/*.cecil")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shrunk fixtures found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := programs.Benchmark{
+			Name:   filepath.Base(f),
+			Source: string(src),
+			Train:  map[string]int64{"genReps": 2},
+			Test:   map[string]int64{"genReps": 3},
+		}
+		for _, cfg := range opt.Configs() {
+			if err := CompareEngines(b, cfg, gridGuards); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+		if err := CompareConfigs(b, opt.Configs(), driver.EngineVM, gridGuards); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}

@@ -38,11 +38,17 @@ func (h *Hierarchy) ApplicableClassesExact(m *Method) (Tuple, bool) {
 	if t, ok := h.applicableMemo[m]; ok {
 		return t, h.applicableExact[m]
 	}
-	t, exact := h.computeApplicable(m)
-	h.applicableMemo[m] = t
 	if h.applicableExact == nil {
 		h.applicableExact = map[*Method]bool{}
 	}
+	// One shared enumeration answers ApplicableClasses for every method
+	// of the generic function at once; fall back to the per-method path
+	// when the GF's dispatch space is too large to enumerate.
+	if h.batchApplicable(m.GF) {
+		return h.applicableMemo[m], h.applicableExact[m]
+	}
+	t, exact := h.computeApplicable(m)
+	h.applicableMemo[m] = t
 	h.applicableExact[m] = exact
 	return t, exact
 }
@@ -50,6 +56,104 @@ func (h *Hierarchy) ApplicableClassesExact(m *Method) (Tuple, bool) {
 // productLimit bounds the number of concrete class tuples enumerated by
 // the exact ApplicableClasses computation.
 const productLimit = 1 << 20
+
+// enumBudget is the per-generic-function tuple-enumeration budget. It
+// scales with hierarchy size but is bounded by productLimit: on
+// mega-hierarchies (thousands of classes) exhaustive products over
+// all-classes cones would cost minutes per compile, so large spaces
+// take the conservative approximateApplicable path instead — which is
+// safe (see ApplicableClassesExact callers) and O(methods²).
+func (h *Hierarchy) enumBudget() int {
+	b := 16 * h.NumClasses()
+	if b < 1<<16 {
+		b = 1 << 16
+	}
+	if b > productLimit {
+		b = productLimit
+	}
+	return b
+}
+
+// batchApplicable computes exact ApplicableClasses for every method of
+// g in a single enumeration of g's dispatch space (the product over
+// dispatched positions of the union of all specializer cones — a
+// superset of every method's own cone product, so per-method
+// projections agree with what exactApplicable would compute). Fills the
+// memo and returns true, or returns false untouched when the space
+// exceeds the enumeration budget (caller then goes per-method).
+// Called with applicableMu held.
+func (h *Hierarchy) batchApplicable(g *GF) bool {
+	dpos := g.DispatchedPositions()
+	if len(dpos) == 0 || len(g.Methods) == 0 {
+		return false
+	}
+	space := make([][]int, len(dpos))
+	size := 1
+	for i, p := range dpos {
+		u := bits.New(h.NumClasses())
+		for _, m := range g.Methods {
+			u.AddAll(m.Specs[p].Cone())
+		}
+		space[i] = u.Elems()
+		size *= len(space[i])
+		if size == 0 || size > h.enumBudget() {
+			return false
+		}
+	}
+
+	proj := make(map[*Method][]*bits.Set, len(g.Methods))
+	for _, m := range g.Methods {
+		sets := make([]*bits.Set, len(dpos))
+		for i := range sets {
+			sets[i] = bits.New(h.NumClasses())
+		}
+		proj[m] = sets
+	}
+
+	classes := make([]*Class, g.Arity)
+	for i := range classes {
+		classes[i] = h.any // undispatched positions never matter
+	}
+	idx := make([]int, len(dpos))
+	for {
+		for i, p := range dpos {
+			classes[p] = h.classes[space[i][idx[i]]]
+		}
+		// Bypass the lookup cache, as in exactApplicable.
+		if won, err := h.lookupSlow(g, classes); err == nil {
+			if sets := proj[won]; sets != nil {
+				for i, p := range dpos {
+					sets[i].Add(classes[p].ID)
+				}
+			}
+		}
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(space[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	for _, m := range g.Methods {
+		out := make(Tuple, g.Arity)
+		for i, s := range m.Specs {
+			out[i] = s.Cone().Clone()
+		}
+		for i, p := range dpos {
+			out[p] = proj[m][i]
+		}
+		h.applicableMemo[m] = out
+		h.applicableExact[m] = true
+	}
+	return true
+}
 
 func (h *Hierarchy) computeApplicable(m *Method) (Tuple, bool) {
 	g := m.GF
@@ -74,7 +178,7 @@ func (h *Hierarchy) computeApplicable(m *Method) (Tuple, bool) {
 	size := 1
 	for _, p := range dpos {
 		size *= out[p].Len()
-		if size > productLimit {
+		if size > h.enumBudget() {
 			return h.approximateApplicable(m, out, dpos), false
 		}
 	}

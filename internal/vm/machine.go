@@ -43,7 +43,19 @@ type Machine struct {
 	// which is also when version-table selection ran — per the issue's
 	// "version-table selection happens at cache-fill time, not per
 	// send": a PIC hit re-uses both the selected version and its proc.
-	ic []icEntry
+	//
+	// Send and version-select caches are separate arrays even though
+	// both are keyed by site ID: a VersionSelect reuses the CallSite of
+	// the send it was devirtualized from, so under configs that
+	// specialize (CHA/Selective) the same ID can be a dynamic send in
+	// one compiled version and a static version-select in another. Send
+	// ways must mirror the site's PIC exactly (NotePICHitAt replays the
+	// PIC promotion by index); version-select ways are a free-standing
+	// MRU cache. Sharing one array lets vselect plant ways the PIC
+	// never had, driving PromoteAt out of bounds — or worse, resolving
+	// a dynamic send to the statically-selected version.
+	ic    []icEntry
+	icSel []icEntry
 
 	// One-entry closure-proc cache: loops overwhelmingly re-invoke the
 	// closure they just called, so this removes the map lookup from the
@@ -95,6 +107,7 @@ func New(in *interp.Interp) (*Machine, error) {
 		mod:   mod,
 		stack: make([]interp.Value, 4096),
 		ic:    make([]icEntry, len(in.C.Prog.Sites)),
+		icSel: make([]icEntry, len(in.C.Prog.Sites)),
 	}, nil
 }
 
@@ -820,7 +833,7 @@ func (m *Machine) exec(p *Proc, regs []interp.Value, up *interp.Frame, act *inte
 		case OpVSelect:
 			ref := &p.VSels[i.B]
 			args := regs[i.C : i.C+i.D]
-			ic := &m.ic[ref.Site.ID]
+			ic := &m.icSel[ref.Site.ID]
 			var v *ir.Version
 			var cp *Proc
 			if w := &ic.w[0]; w.wayMatch(args, i.D, in.H) {
@@ -1121,4 +1134,3 @@ func (m *Machine) exec(p *Proc, regs []interp.Value, up *interp.Frame, act *inte
 		pc++
 	}
 }
-
